@@ -1,0 +1,29 @@
+# Convenience targets for the Maya cache reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench experiments fast-experiments examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+experiments:
+	$(PYTHON) -m repro.harness.cli all
+
+fast-experiments:
+	$(PYTHON) -m repro.harness.cli all --fast
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/security_analysis.py
+	$(PYTHON) examples/design_space.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

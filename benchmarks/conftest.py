@@ -1,0 +1,30 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one of the paper's tables or figures,
+asserts its qualitative shape, and writes the rendered rows/series to
+``results/<experiment>.txt`` so EXPERIMENTS.md can be cross-checked
+against a fresh run.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_report(results_dir):
+    """Write an experiment's rendered report to results/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _save

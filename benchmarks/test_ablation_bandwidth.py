@@ -1,0 +1,60 @@
+"""Ablation: DRAM bandwidth modelling on streaming mixes.
+
+With infinite bandwidth (the default timing model), the L1 prefetcher
+hides nearly all of lbm's DRAM latency and the secure designs' +4
+lookup cycles barely register.  With channel-occupancy queueing on,
+the stream becomes bandwidth-bound - closer to the paper's testbed,
+where Mirage loses ~8% on lbm.  This ablation quantifies how much of
+that loss our model recovers when bandwidth is modelled.
+"""
+
+from repro.core import MayaCache
+from repro.harness.experiments import fig9_homogeneous  # noqa: F401  (report shape)
+from repro.harness.presets import experiment_maya, experiment_mirage, experiment_system
+from repro.hierarchy import normalized_weighted_speedup, run_mix
+from repro.llc import BaselineLLC, MirageCache
+from repro.trace import homogeneous
+
+
+def _ws(model_bandwidth: bool, accesses: int, warmup: int):
+    system = experiment_system()
+    mix = homogeneous("lbm")
+    base = run_mix(
+        BaselineLLC(system.llc_geometry), mix, system, accesses, warmup,
+        seed=5, model_bandwidth=model_bandwidth,
+    )
+    maya = run_mix(
+        MayaCache(experiment_maya(seed=5)), mix, system, accesses, warmup,
+        seed=5, model_bandwidth=model_bandwidth,
+    )
+    mirage = run_mix(
+        MirageCache(experiment_mirage(seed=5)), mix, system, accesses, warmup,
+        seed=5, model_bandwidth=model_bandwidth,
+    )
+    return (
+        normalized_weighted_speedup(maya, base),
+        normalized_weighted_speedup(mirage, base),
+    )
+
+
+def test_ablation_bandwidth(benchmark, save_report):
+    results = benchmark.pedantic(
+        lambda: {
+            "unbounded": _ws(False, 5_000, 2_500),
+            "bounded": _ws(True, 5_000, 2_500),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    report = "\n".join(
+        f"{mode:10s}: Maya WS {ws[0]:.3f}, Mirage WS {ws[1]:.3f}"
+        for mode, ws in results.items()
+    )
+    save_report("ablation_bandwidth", report)
+
+    # Streaming stays within a few percent of baseline either way
+    # (everyone is bound by the same stream), and modelling bandwidth
+    # must not make the secure designs *better* than unbounded.
+    for mode, (maya_ws, mirage_ws) in results.items():
+        assert 0.85 < maya_ws < 1.1, (mode, maya_ws)
+        assert 0.85 < mirage_ws < 1.1, (mode, mirage_ws)

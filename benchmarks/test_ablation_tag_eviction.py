@@ -1,0 +1,43 @@
+"""Ablation: global random tag eviction on/off.
+
+The second DESIGN.md ablation: global random tag eviction is what
+pins the priority-0 population (and hence the invalid-tag reserve) at
+its steady-state size.  Switching it off lets priority-0 tags
+accumulate until sets fill and SAEs appear, destroying the security
+guarantee with zero benefit.
+"""
+
+import random
+
+from repro.common.config import MayaConfig
+from repro.core import MayaCache
+
+
+def _run(global_tag_eviction: bool, accesses: int = 40_000):
+    cache = MayaCache(
+        MayaConfig(sets_per_skew=32, rng_seed=7, hash_algorithm="splitmix"),
+        global_tag_eviction=global_tag_eviction,
+    )
+    rng = random.Random(1)
+    for _ in range(accesses):
+        cache.access(rng.randrange(20_000), is_writeback=rng.random() < 0.3)
+    return cache
+
+
+def test_ablation_tag_eviction(benchmark, save_report):
+    with_policy, without_policy = benchmark.pedantic(
+        lambda: (_run(True), _run(False)), rounds=1, iterations=1
+    )
+    report = (
+        f"with global tag eviction:    SAEs={with_policy.stats.saes}, "
+        f"p0={with_policy.tags.priority0_count} (cap {with_policy.config.priority0_entries})\n"
+        f"without global tag eviction: SAEs={without_policy.stats.saes}, "
+        f"p0={without_policy.tags.priority0_count}"
+    )
+    save_report("ablation_tag_eviction", report)
+
+    assert with_policy.stats.saes == 0
+    assert with_policy.tags.priority0_count == with_policy.config.priority0_entries
+    # Without the policy the p0 pool overgrows and conflicts appear.
+    assert without_policy.tags.priority0_count > without_policy.config.priority0_entries
+    assert without_policy.stats.saes > 0

@@ -1,0 +1,26 @@
+"""Fig. 10 bench: weighted speedup on the 21 heterogeneous mixes.
+
+Paper shape: Maya ~+1.5% on average, best on the LOW bin (less
+inter-core interference), near-neutral to slightly negative on
+MEDIUM/HIGH; Mirage marginally below baseline.
+"""
+
+from repro.harness.experiments import fig10_heterogeneous
+
+
+def test_fig10_heterogeneous_perf(benchmark, save_report):
+    rows = benchmark.pedantic(
+        fig10_heterogeneous.run,
+        kwargs={"accesses_per_core": 6_000, "warmup_per_core": 3_000},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig10_heterogeneous_perf", fig10_heterogeneous.report(rows))
+
+    assert len(rows) == 21
+    overall = [r.maya_ws for r in rows.values()]
+    average = sum(overall) / len(overall)
+    # Maya stays within a few percent of baseline overall.
+    assert 0.95 < average < 1.10, average
+    # Every mix individually stays in a sane band.
+    assert all(0.8 < ws < 1.5 for ws in overall)

@@ -1,0 +1,21 @@
+"""Fig. 1 bench: dead-block percentages, baseline vs Mirage.
+
+Paper shape: >80% of inserted blocks are dead on average across the
+memory-intensive SPEC + GAP workloads.
+"""
+
+from repro.harness.experiments import fig1_dead_blocks
+
+
+def test_fig1_dead_blocks(benchmark, save_report):
+    rows = benchmark.pedantic(
+        fig1_dead_blocks.run,
+        kwargs={"accesses": 8_000, "warmup": 4_000},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig1_dead_blocks", fig1_dead_blocks.report(rows))
+    average = fig1_dead_blocks.average_dead_pct(rows)
+    assert average > 70.0, f"dead-block average {average:.1f}% too low vs paper's >80%"
+    # Streaming workloads are almost entirely dead blocks.
+    assert rows["lbm"].baseline_dead_pct > 75.0

@@ -1,0 +1,37 @@
+"""Fig. 4 bench: performance vs number of reuse ways per skew.
+
+Paper shape: three reuse ways beat one (better reuse detection:
+fotonik3d goes 0.97 -> 1.04); five and seven pay a small tag-latency
+penalty, so three is the sweet spot.
+"""
+
+from repro.harness.experiments import fig4_reuse_ways
+
+WORKLOADS = ("mcf", "fotonik3d", "wrf", "lbm", "omnetpp", "cactuBSSN")
+
+
+def test_fig4_reuse_ways(benchmark, save_report):
+    result = benchmark.pedantic(
+        fig4_reuse_ways.run,
+        kwargs={
+            "workloads": WORKLOADS,
+            "accesses_per_core": 6_000,
+            "warmup_per_core": 3_000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig4_reuse_ways_perf", fig4_reuse_ways.report(result))
+
+    averages = {r: result.average(r) for r in (1, 3, 5, 7)}
+    # Three reuse ways must clearly beat one (the paper's key argument
+    # for the default configuration).
+    assert averages[3] >= averages[1] + 0.005, averages
+    # Diminishing returns past three: the 3->7 gain is much smaller
+    # than the 1->3 gain.  (At our reduced scale the absolute
+    # priority-0 pool is small enough that 5/7 ways still add a little,
+    # where the paper's full-scale run shows a slight drop; the
+    # deviation is documented in EXPERIMENTS.md.)
+    gain_1_to_3 = averages[3] - averages[1]
+    gain_3_to_7 = averages[7] - averages[3]
+    assert gain_3_to_7 < gain_1_to_3, averages

@@ -1,0 +1,32 @@
+"""Fig. 6 bench: iterations per bucket spill vs capacity.
+
+Paper shape: spill frequency drops double-exponentially from capacity
+9 to 13; no spills are observable at 14-15 (analytical model covers
+them).
+"""
+
+from repro.harness.experiments import fig6_bucket_spills
+
+
+def test_fig6_bucket_spills(benchmark, save_report):
+    rows = benchmark.pedantic(
+        fig6_bucket_spills.run,
+        kwargs={"iterations": 120_000, "buckets_per_skew": 1024},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig6_bucket_spills", fig6_bucket_spills.report(rows))
+
+    # Monotone collapse of spill frequency with capacity.
+    simulated = [rows[c] for c in (9, 10, 11, 12) if rows[c].spills]
+    for earlier, later in zip(simulated, simulated[1:]):
+        assert later.iterations_per_spill > earlier.iterations_per_spill * 3
+
+    # Double-exponential growth carries the analytical tail to 1e32.
+    assert rows[15].analytical_iterations_per_spill > 1e30
+    # Simulation and model agree within an order of magnitude where both exist.
+    for capacity in (10, 11, 12):
+        row = rows[capacity]
+        if row.spills >= 10:
+            ratio = row.iterations_per_spill / row.analytical_iterations_per_spill
+            assert 0.05 < ratio < 20.0, (capacity, ratio)

@@ -1,0 +1,24 @@
+"""Fig. 7 bench: Pr(n = N) - bucket simulation vs analytical model.
+
+Paper shape: the estimated distribution closely matches the simulated
+one (peak ~0.28 at N = 9-10, double-exponential tail).
+"""
+
+from repro.harness.experiments import fig7_occupancy
+
+
+def test_fig7_occupancy_distribution(benchmark, save_report):
+    comparison = benchmark.pedantic(
+        fig7_occupancy.run,
+        kwargs={"iterations": 100_000, "buckets_per_skew": 2048},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig7_occupancy_distribution", fig7_occupancy.report(comparison))
+
+    # Peak position and height match Fig. 7.
+    mode = max(comparison.simulated, key=comparison.simulated.get)
+    assert mode in (9, 10)
+    assert 0.2 < comparison.simulated[mode] < 0.35
+    # Simulation tracks the model over the well-sampled range.
+    assert comparison.max_relative_error(threshold=0.01) < 0.25

@@ -1,0 +1,35 @@
+"""Fig. 9 bench: weighted speedup on 8-core homogeneous mixes.
+
+Paper shapes: Maya ~= baseline on SPEC average (+0.2%) and +5% on GAP
+(driven by pr's ~1.5x); Maya wins on conflict-heavy benchmarks (mcf,
+wrf, fotonik3d) and loses on cache-fitting (cactuBSSN, cam4) and on
+diffuse-reuse GAP workloads (bc, cc, sssp); Mirage slightly below
+baseline on average.
+"""
+
+from repro.harness.experiments import fig9_homogeneous
+
+
+def test_fig9_homogeneous_perf(benchmark, save_report):
+    rows = benchmark.pedantic(
+        fig9_homogeneous.run,
+        kwargs={"accesses_per_core": 8_000, "warmup_per_core": 5_000},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig9_homogeneous_perf", fig9_homogeneous.report(rows))
+
+    # Overall averages in the paper's band: close to 1.0 on SPEC.
+    spec_maya = fig9_homogeneous.suite_geomean(rows, "spec", "maya")
+    assert 0.93 < spec_maya < 1.08, spec_maya
+
+    # Per-benchmark shapes.
+    assert rows["pr"].maya_ws > 1.1, "pr is a large randomized-design win"
+    assert rows["pr"].mirage_ws > 1.1
+    assert rows["mcf"].maya_ws > rows["cactuBSSN"].maya_ws, "conflict win vs fitting loss"
+    assert rows["cactuBSSN"].maya_ws < 1.0, "cache-fitting benchmarks lose with Maya"
+    assert rows["cc"].maya_ws < 1.0, "diffuse-reuse GAP workloads lose with Maya"
+    # Randomized designs do not inflate MPKI on average (Table VII).
+    avg_base = sum(r.baseline_mpki for r in rows.values()) / len(rows)
+    avg_maya = sum(r.maya_mpki for r in rows.values()) / len(rows)
+    assert avg_maya < avg_base * 1.1

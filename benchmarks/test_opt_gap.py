@@ -1,0 +1,25 @@
+"""Analysis bench: policy hit rates vs Belady's MIN (paper intro, [31]).
+
+Quantifies the structural headroom full associativity unlocks - the
+gap between set-associative OPT and fully-associative OPT is the
+budget Mirage/Maya's global placement can spend.
+"""
+
+from repro.harness.experiments import opt_gap
+
+
+def test_opt_gap(benchmark, save_report):
+    rows = benchmark.pedantic(
+        opt_gap.run, kwargs={"accesses": 20_000}, rounds=1, iterations=1
+    )
+    save_report("opt_gap", opt_gap.report(rows))
+
+    for row in rows.values():
+        rates = row.rates
+        # MIN dominates every online policy.
+        assert rates["opt"] >= max(rates["lru"], rates["srrip"], rates["random"]) - 1e-9
+        # Full associativity can only help MIN.
+        assert rates["opt_fa"] >= rates["opt"] - 1e-9
+    # The conflict-prone workloads have real FA headroom.
+    assert rows["mcf"].full_associativity_headroom > 0.02
+    assert rows["pr"].full_associativity_headroom > 0.1

@@ -1,0 +1,34 @@
+"""Table X bench: security / storage / performance summary.
+
+Paper rows: Maya (1e32 installs/SAE, -2%, +0.20%), Mirage (1e34,
++20%, -0.55%), Mirage-Lite (~1e21, +17%; our closest discrete point
+is 13 ways/skew at ~1e17, +18.9%), Maya-ISO (1e30, +26%, +1.84%).
+"""
+
+import math
+
+from repro.harness.experiments import table10_summary
+
+
+def test_table10_summary(benchmark, save_report):
+    rows = benchmark.pedantic(
+        table10_summary.run,
+        kwargs={"accesses_per_core": 5_000, "warmup_per_core": 3_000},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("table10_summary", table10_summary.report(rows))
+
+    # Security ordering: Mirage > Maya > Maya-ISO > Mirage-Lite.
+    sae = {name: math.log10(r.security.installs_per_sae) for name, r in rows.items()}
+    assert sae["Mirage"] > sae["Maya"] > sae["Maya ISO"] > sae["Mirage-Lite"]
+    assert 31 < sae["Maya"] < 35  # paper: 1e32
+
+    # Storage: Maya saves, everything else costs.
+    assert rows["Maya"].storage_overhead < 0
+    assert rows["Mirage"].storage_overhead > 0.18
+    assert rows["Maya ISO"].storage_overhead > 0.2
+
+    # Performance stays within a few percent of baseline for all rows.
+    for row in rows.values():
+        assert 0.9 < row.performance_ws < 1.15, (row.design, row.performance_ws)

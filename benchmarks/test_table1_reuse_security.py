@@ -1,0 +1,28 @@
+"""Table I bench: installs per SAE over reuse x invalid ways.
+
+Paper magnitudes: with 6 invalid ways/skew - 2e36 / 4e32 / 7e31 / 2e30
+for 1 / 3 / 5 / 7 reuse ways; with 5 invalid ways - 1e18 / 1e16 /
+6e15 / 1e15.
+"""
+
+import math
+
+from repro.harness.experiments import table1_reuse_security
+
+
+def test_table1_reuse_security(benchmark, save_report):
+    table = benchmark.pedantic(table1_reuse_security.run, rounds=1, iterations=1)
+    save_report("table1_reuse_security", table1_reuse_security.report(table))
+
+    paper = {  # (invalid, reuse) -> published order of magnitude
+        (6, 1): 36, (6, 3): 32, (6, 5): 31, (6, 7): 30,
+        (5, 1): 18, (5, 3): 16, (5, 5): 15, (5, 7): 15,
+    }
+    for (invalid, reuse), magnitude in paper.items():
+        measured = math.log10(table[invalid][reuse].installs_per_sae)
+        assert abs(measured - magnitude) <= 2.0, (invalid, reuse, measured)
+
+    # The qualitative trends the paper draws from this table.
+    for invalid in (5, 6):
+        rates = [table[invalid][r].installs_per_sae for r in (1, 3, 5, 7)]
+        assert rates == sorted(rates, reverse=True)

@@ -1,0 +1,29 @@
+"""Table IV bench: installs per SAE vs tag-store associativity.
+
+Paper magnitudes: I4 - 1e10 / 1e8 / 1e7; I5 - 1e20 / 1e16 / 1e14;
+I6 - 1e40 / 1e32 / 1e28 for 8 / 18 / 36-way tag stores.
+"""
+
+import math
+
+from repro.harness.experiments import table4_associativity
+
+
+def test_table4_associativity(benchmark, save_report):
+    table = benchmark.pedantic(table4_associativity.run, rounds=1, iterations=1)
+    save_report("table4_associativity", table4_associativity.report(table))
+
+    paper = {
+        (4, 8): 10, (4, 18): 8, (4, 36): 7,
+        (5, 8): 20, (5, 16): 16, (5, 36): 14,
+        (6, 8): 40, (6, 18): 32, (6, 36): 28,
+    }
+    for (invalid, assoc), magnitude in paper.items():
+        if assoc not in table[invalid]:
+            continue
+        measured = math.log10(table[invalid][assoc].installs_per_sae)
+        assert abs(measured - magnitude) <= 3.5, (invalid, assoc, measured)
+
+    for invalid in (4, 5, 6):
+        rates = [table[invalid][a].installs_per_sae for a in sorted(table[invalid])]
+        assert rates == sorted(rates, reverse=True), "security must fall with associativity"

@@ -1,0 +1,20 @@
+"""Table VIII bench: the exact storage arithmetic.
+
+These values are exact reproductions of the published table.
+"""
+
+import pytest
+
+from repro.harness.experiments import table8_storage
+
+
+def test_table8_storage(benchmark, save_report):
+    breakdowns = benchmark.pedantic(table8_storage.run, rounds=1, iterations=1)
+    save_report("table8_storage", table8_storage.report(breakdowns))
+
+    base = breakdowns["Baseline"]
+    assert base.total_kb == 17312.0
+    assert breakdowns["Mirage"].total_kb == 20856.0
+    assert breakdowns["Maya"].total_kb == 16944.0
+    assert breakdowns["Mirage"].overhead_vs(base) == pytest.approx(0.205, abs=0.003)
+    assert breakdowns["Maya"].overhead_vs(base) == pytest.approx(-0.021, abs=0.003)

@@ -1,0 +1,27 @@
+"""Table IX bench: energy, static power, and area.
+
+The calibrated CACTI-lite model reproduces the paper's headline deltas:
+Maya -15.6% read energy, -11.4% write energy, -5.5% static power,
+-28.1% area; Mirage +18.2% static power, +6.9% area.
+"""
+
+import pytest
+
+from repro.harness.experiments import table9_power
+
+
+def test_table9_power_area(benchmark, save_report):
+    estimates = benchmark.pedantic(table9_power.run, rounds=1, iterations=1)
+    save_report("table9_power_area", table9_power.report(estimates))
+
+    base = estimates["Baseline"]
+    maya = estimates["Maya"].relative_to(base)
+    mirage = estimates["Mirage"].relative_to(base)
+    assert maya["static_power"] == pytest.approx(-0.0546, abs=0.01)
+    assert maya["area"] == pytest.approx(-0.2811, abs=0.01)
+    assert maya["read_energy"] == pytest.approx(-0.1555, abs=0.02)
+    assert maya["write_energy"] == pytest.approx(-0.1140, abs=0.02)
+    assert mirage["static_power"] == pytest.approx(0.1816, abs=0.02)
+    assert mirage["area"] == pytest.approx(0.0686, abs=0.02)
+    # Maya-ISO spends the savings: more static power than Mirage.
+    assert estimates["Maya ISO"].static_power_mw > estimates["Mirage"].static_power_mw

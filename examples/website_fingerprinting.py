@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Website fingerprinting through cache occupancy (the paper's [32]).
+
+The Maya paper is explicit that occupancy attacks are out of scope:
+even a fully associative cache leaks how much space a victim uses.
+This demo mounts the Shusterman-style website-fingerprinting attack -
+classify which "website" loaded purely from an occupancy time series -
+against four LLC designs, and also reports the per-observation leakage
+(mutual information) of a key-recovery occupancy channel.
+
+Run:  python examples/website_fingerprinting.py
+"""
+
+from repro import BaselineLLC, CacheGeometry, MayaCache, MayaConfig
+from repro.llc import FullyAssociativeCache, make_scatter_cache
+from repro.security import leakage_curve, website_catalog
+from repro.security.attacks import fingerprint_accuracy
+from repro.security.victims import ModExpVictim, modexp_key_pair
+
+GEOMETRY = CacheGeometry(sets=64, ways=16)
+MAYA_CFG = MayaConfig(sets_per_skew=64, rng_seed=1, hash_algorithm="splitmix")
+
+
+def designs():
+    yield "baseline 16-way", lambda: BaselineLLC(GEOMETRY, policy="lru"), GEOMETRY.lines
+    yield "scatter-cache", lambda: make_scatter_cache(GEOMETRY, seed=1), GEOMETRY.lines
+    yield "maya", lambda: MayaCache(MAYA_CFG), MAYA_CFG.data_entries
+    yield "fully associative", lambda: FullyAssociativeCache(GEOMETRY.lines, seed=1), GEOMETRY.lines
+
+
+def main():
+    print("=== Website fingerprinting accuracy (3 sites, chance = 0.33) ===")
+    for name, factory, capacity in designs():
+        result = fingerprint_accuracy(
+            factory, website_catalog(seed=1), attacker_lines=capacity,
+            training_loads=3, test_loads=4, seed=2,
+        )
+        print(f"{name:18s}: {result.accuracy:.2f}  (per-site hits: {result.per_site})")
+    print("No design hides occupancy - including Maya, by design (Section IV-D).")
+
+    print("\n=== Per-observation leakage of a modexp key bitstream (bits) ===")
+    key_a, key_b = modexp_key_pair(seed=11)
+    for name, factory, capacity in designs():
+        curve = leakage_curve(
+            factory(),
+            lambda: ModExpVictim(key_a, seed=1),
+            lambda: ModExpVictim(key_b, seed=2),
+            attacker_lines=capacity,
+            observation_counts=(8, 32, 64),
+            seed=3,
+        )
+        series = "  ".join(
+            f"n={p.observations}: {p.mutual_information_bits:.2f}" for p in curve
+        )
+        print(f"{name:18s}: {series}")
+    print("Leakage exists everywhere; Maya's goal is matching the fully")
+    print("associative reference, not beating it.")
+
+
+if __name__ == "__main__":
+    main()

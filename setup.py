@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so fully offline environments (no `wheel` package available for
+pip's PEP 660 editable build) can still install the project with
+``python setup.py develop``; everything else lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

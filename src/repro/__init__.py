@@ -1,0 +1,67 @@
+"""repro: a reproduction of "The Maya Cache" (ISCA 2024).
+
+A storage-efficient, secure, effectively fully-associative last-level
+cache, plus every substrate the paper's evaluation needs: the PRINCE
+cipher, randomized LLC designs (CEASER, CEASER-S, Scatter-Cache,
+Mirage), a multi-core cache-hierarchy simulator with synthetic
+SPEC/GAP-class workloads, the bucket-and-balls security model with its
+analytical Birth-Death companion, attack harnesses (eviction sets,
+occupancy, Flush+Reload), and calibrated storage/power/area models.
+
+Quick start::
+
+    from repro import MayaCache, MayaConfig
+    cache = MayaCache(MayaConfig(sets_per_skew=256, rng_seed=1))
+    cache.access(0x1234)            # demand miss: tag-only install
+    cache.access(0x1234)            # reuse: promoted, data filled
+    assert cache.contains(0x1234)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .common.config import (
+    CacheGeometry,
+    DramConfig,
+    HierarchyLatencies,
+    MayaConfig,
+    MirageConfig,
+    SystemConfig,
+)
+from .core import MayaCache
+from .crypto import IndexRandomizer, Prince
+from .hierarchy import CacheHierarchy, run_mix, weighted_speedup
+from .llc import (
+    BaselineLLC,
+    CeaserCache,
+    FullyAssociativeCache,
+    MirageCache,
+    SetPartitionedLLC,
+    WayPartitionedLLC,
+)
+from .security import BucketAndBallsModel, BucketModelConfig, analyze
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaselineLLC",
+    "BucketAndBallsModel",
+    "BucketModelConfig",
+    "CacheGeometry",
+    "CacheHierarchy",
+    "CeaserCache",
+    "DramConfig",
+    "FullyAssociativeCache",
+    "HierarchyLatencies",
+    "IndexRandomizer",
+    "MayaCache",
+    "MayaConfig",
+    "MirageCache",
+    "Prince",
+    "SetPartitionedLLC",
+    "SystemConfig",
+    "WayPartitionedLLC",
+    "analyze",
+    "run_mix",
+    "weighted_speedup",
+]

@@ -1,0 +1,79 @@
+"""Miss-status holding registers (MSHRs).
+
+A functional MSHR file: outstanding misses to the same line merge into
+one entry, and a full MSHR file stalls further misses.  The hierarchy
+model uses it to bound memory-level parallelism per level (Table V
+sizes the files at 8/16/32 for L1I/L1D/L2 and 64 per core at the LLC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding miss and the requests merged into it."""
+
+    line_addr: int
+    issue_cycle: int
+    merged_requests: int = 1
+    is_write: bool = False
+
+
+class MSHRFile:
+    """Fixed-capacity MSHR file with merge-on-match semantics."""
+
+    def __init__(self, entries: int):
+        if entries <= 0:
+            raise ValueError(f"MSHR file needs a positive size, got {entries}")
+        self.capacity = entries
+        self._entries: Dict[int, MSHREntry] = {}
+        self.merges = 0
+        self.allocations = 0
+        self.stalls = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def lookup(self, line_addr: int) -> bool:
+        """Is a miss to this line already outstanding?"""
+        return line_addr in self._entries
+
+    def allocate(self, line_addr: int, cycle: int, is_write: bool = False) -> bool:
+        """Register a miss; returns ``False`` (stall) when the file is full.
+
+        A miss to an already-outstanding line merges and never stalls.
+        """
+        entry = self._entries.get(line_addr)
+        if entry is not None:
+            entry.merged_requests += 1
+            entry.is_write = entry.is_write or is_write
+            self.merges += 1
+            return True
+        if self.full:
+            self.stalls += 1
+            return False
+        self._entries[line_addr] = MSHREntry(line_addr, cycle, is_write=is_write)
+        self.allocations += 1
+        return True
+
+    def complete(self, line_addr: int) -> MSHREntry:
+        """Retire the outstanding miss for ``line_addr``."""
+        try:
+            return self._entries.pop(line_addr)
+        except KeyError:
+            raise KeyError(f"no outstanding miss for line {line_addr:#x}") from None
+
+    def drain_older_than(self, cycle: int) -> List[MSHREntry]:
+        """Retire every miss issued strictly before ``cycle``."""
+        done = [e for e in self._entries.values() if e.issue_cycle < cycle]
+        for entry in done:
+            del self._entries[entry.line_addr]
+        return done

@@ -1,0 +1,107 @@
+"""Belady's optimal (OPT/MIN) replacement, offline.
+
+The paper's introduction motivates why nobody will give up LLC
+performance for security: two decades of work push the LLC toward
+Belady's optimal policy [31].  This module computes that bound for a
+finite trace, giving the library a principled yardstick: how much of
+the LRU/SRRIP-to-OPT gap does a design close (or open)?
+
+OPT needs future knowledge, so it is an offline analysis over a
+materialized trace rather than a :class:`ReplacementPolicy`:
+
+* :func:`opt_hit_rate` - fully-associative MIN via the classic
+  next-use construction (a lazy max-heap keyed by next reference).
+* :func:`set_associative_opt_hit_rate` - per-set MIN for a
+  conventional geometry (each set is an independent MIN instance).
+* :func:`policy_gap_report` - hit rates of LRU / SRRIP / random / OPT
+  side by side on the same trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Sequence, Tuple
+
+from ..common.config import CacheGeometry
+from .set_assoc import SetAssociativeCache
+
+#: Sentinel "never referenced again" distance.
+INFINITE = float("inf")
+
+
+def _next_use_indices(addresses: Sequence[int]) -> List[float]:
+    """next_use[i] = index of the next access to addresses[i], or inf."""
+    next_use: List[float] = [INFINITE] * len(addresses)
+    last_seen: Dict[int, int] = {}
+    for i in range(len(addresses) - 1, -1, -1):
+        addr = addresses[i]
+        next_use[i] = last_seen.get(addr, INFINITE)
+        last_seen[addr] = i
+    return next_use
+
+
+def opt_hit_rate(addresses: Sequence[int], capacity_lines: int) -> float:
+    """Belady's MIN hit rate for a fully associative cache.
+
+    >>> opt_hit_rate([1, 2, 1, 3, 2], capacity_lines=2)
+    0.4
+    """
+    if capacity_lines <= 0:
+        raise ValueError("capacity must be positive")
+    addresses = list(addresses)
+    if not addresses:
+        return 0.0
+    next_use = _next_use_indices(addresses)
+    resident: Dict[int, float] = {}  # addr -> its current next-use index
+    # Max-heap of (-next_use, addr) with lazy invalidation.
+    heap: List[Tuple[float, int]] = []
+    hits = 0
+    for i, addr in enumerate(addresses):
+        if addr in resident:
+            hits += 1
+        elif len(resident) >= capacity_lines:
+            # Evict the resident line referenced farthest in the future.
+            while True:
+                neg_use, victim = heapq.heappop(heap)
+                if victim in resident and resident[victim] == -neg_use:
+                    break
+            del resident[victim]
+        resident[addr] = next_use[i]
+        heapq.heappush(heap, (-next_use[i], addr))
+    return hits / len(addresses)
+
+
+def set_associative_opt_hit_rate(addresses: Sequence[int], geometry: CacheGeometry) -> float:
+    """Belady's MIN hit rate for a set-associative cache.
+
+    Each set sees a filtered sub-trace and runs an independent MIN; the
+    aggregate is the conventional set-associative OPT bound.
+    """
+    addresses = list(addresses)
+    if not addresses:
+        return 0.0
+    per_set: Dict[int, List[int]] = {}
+    for addr in addresses:
+        per_set.setdefault(addr % geometry.sets, []).append(addr)
+    hits = sum(
+        opt_hit_rate(sub, geometry.ways) * len(sub) for sub in per_set.values()
+    )
+    return hits / len(addresses)
+
+
+def policy_gap_report(addresses: Sequence[int], geometry: CacheGeometry) -> Dict[str, float]:
+    """Hit rates of LRU, SRRIP, random, and OPT on one trace.
+
+    Returns a dict mapping policy name to hit rate; ``opt`` is the
+    set-associative MIN bound and ``opt_fa`` the fully associative one
+    (what an ideal Mirage/Maya-style cache could reach).
+    """
+    addresses = list(addresses)
+    rates: Dict[str, float] = {}
+    for policy in ("lru", "srrip", "random"):
+        cache = SetAssociativeCache(geometry, policy=policy, seed=1)
+        hits = sum(1 for addr in addresses if cache.access(addr).hit)
+        rates[policy] = hits / len(addresses) if addresses else 0.0
+    rates["opt"] = set_associative_opt_hit_rate(addresses, geometry)
+    rates["opt_fa"] = opt_hit_rate(addresses, geometry.lines)
+    return rates

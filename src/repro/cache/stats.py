@@ -1,0 +1,98 @@
+"""Statistics collected by every cache model.
+
+A single :class:`CacheStats` instance is embedded in each cache; the
+experiment harness reads these counters to compute MPKI, hit rates,
+dead-block fractions (Fig. 1), and inter-core interference (Section
+V-B's explanation of Maya's wins).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CacheStats:
+    """Raw event counters for one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    demand_accesses: int = 0
+    demand_hits: int = 0
+    writebacks_received: int = 0
+    fills: int = 0
+    data_fills: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    dead_evictions: int = 0
+    #: Evictions where the victim belonged to a different core than the filler.
+    interference_evictions: int = 0
+    #: Maya: hits on a priority-0 tag (promotion; data miss).
+    tag_only_hits: int = 0
+    #: Secure designs: set-associative evictions observed.
+    saes: int = 0
+    #: Global random tag evictions (Maya).
+    tag_evictions: int = 0
+    #: Per-core demand miss counts (for weighted-speedup attribution).
+    per_core_misses: Dict[int, int] = field(default_factory=dict)
+
+    def record_access(self, hit: bool, is_writeback: bool, core_id: int = 0) -> None:
+        self.accesses += 1
+        if is_writeback:
+            self.writebacks_received += 1
+        else:
+            self.demand_accesses += 1
+            if hit:
+                self.demand_hits += 1
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+            if not is_writeback:
+                self.per_core_misses[core_id] = self.per_core_misses.get(core_id, 0) + 1
+
+    def record_eviction(self, *, dirty: bool, was_reused: bool, cross_core: bool) -> None:
+        self.evictions += 1
+        if dirty:
+            self.dirty_evictions += 1
+        if not was_reused:
+            self.dead_evictions += 1
+        if cross_core:
+            self.interference_evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Overall hit rate (0 when no accesses yet)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def demand_hit_rate(self) -> float:
+        return self.demand_hits / self.demand_accesses if self.demand_accesses else 0.0
+
+    @property
+    def demand_misses(self) -> int:
+        return self.demand_accesses - self.demand_hits
+
+    @property
+    def dead_block_fraction(self) -> float:
+        """Fraction of evicted blocks never reused (Fig. 1 metric)."""
+        return self.dead_evictions / self.evictions if self.evictions else 0.0
+
+    @property
+    def interference_fraction(self) -> float:
+        return self.interference_evictions / self.evictions if self.evictions else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter (used after cache warm-up)."""
+        fresh = CacheStats()
+        for name in vars(fresh):
+            setattr(self, name, getattr(fresh, name))
+        self.per_core_misses = {}
+
+    def mpki(self, instructions: int) -> float:
+        """Demand misses per kilo-instruction."""
+        if instructions <= 0:
+            raise ValueError("instruction count must be positive")
+        return 1000.0 * self.demand_misses / instructions

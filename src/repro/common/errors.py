@@ -1,0 +1,42 @@
+"""Exception hierarchy for the Maya cache reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached a state that violates a design invariant."""
+
+
+class SetAssociativeEviction(ReproError):
+    """A set-associative eviction (SAE) occurred in a secure cache design.
+
+    For Maya and Mirage an SAE is a security event: the designs are
+    provisioned so that, in practice, one never happens during a system
+    lifetime.  The simulators raise (or count, depending on the
+    ``on_sae`` policy) this exception so experiments can measure the
+    frequency of SAEs directly.
+    """
+
+    def __init__(self, message: str = "set-associative eviction", *, installs: int = 0):
+        super().__init__(message)
+        self.installs = installs
+
+
+class TraceError(ReproError):
+    """A trace record or trace stream is malformed."""
+
+
+class AttackError(ReproError):
+    """An attack harness was used against an incompatible cache design."""

@@ -1,0 +1,16 @@
+"""Cryptographic substrate: the PRINCE cipher and randomized indexing."""
+
+from .prince import ALPHA, ROUND_CONSTANTS, SBOX, SBOX_INV, TEST_VECTORS, Prince, decrypt, encrypt
+from .randomizer import IndexRandomizer
+
+__all__ = [
+    "ALPHA",
+    "ROUND_CONSTANTS",
+    "SBOX",
+    "SBOX_INV",
+    "TEST_VECTORS",
+    "IndexRandomizer",
+    "Prince",
+    "decrypt",
+    "encrypt",
+]

@@ -1,0 +1,151 @@
+"""Randomized set-index functions built on PRINCE.
+
+Every randomized LLC in this library (CEASER, CEASER-S, Scatter-Cache,
+Mirage, Maya) derives its set indices here.  The mapping follows the
+designs' published structure:
+
+* **CEASER** encrypts the line address under a single key and uses the
+  low ciphertext bits as the set index (the whole encrypted address is
+  used as the stored tag).
+* **Skewed designs** (CEASER-S, Scatter-Cache, Mirage, Maya) need one
+  *independent* index per skew and, for Scatter-Cache/Maya, the index
+  must also depend on the security-domain ID (SDID) so that different
+  domains see unrelated mappings of the same address.  We derive skew
+  ``s``'s index by encrypting ``line_addr`` under a key tweaked by the
+  pair ``(skew, sdid)`` and XOR-folding the 64-bit ciphertext down to
+  the set-index width.
+
+A small memo table caches the most recent mappings: simulators look up
+the same hot addresses millions of times and the cipher is the hot
+path.  The memo is invalidated on :meth:`IndexRandomizer.rekey`, which
+models CEASER-style remapping and Maya's boot-time/SAE-triggered key
+refresh.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..common.bitops import fold_xor, log2_exact
+from ..common.errors import ConfigurationError
+from ..common.rng import derive_seed, make_rng
+from .prince import Prince
+
+
+class IndexRandomizer:
+    """Per-skew randomized address-to-set mapping.
+
+    Parameters
+    ----------
+    skews:
+        Number of independent index functions (1 for CEASER-style).
+    sets_per_skew:
+        Power-of-two number of sets each function maps into.
+    seed:
+        Deterministic seed for key generation; ``None`` uses the
+        library default.
+    algorithm:
+        ``"prince"`` (default, the paper's cipher) or ``"splitmix"``,
+        a fast keyed mixer that is *not* cryptographically strong but
+        produces the same uniform index distribution.  The security
+        analyses use PRINCE; the performance sweeps may use splitmix
+        because only index uniformity matters there (documented in
+        DESIGN.md) - the Python cipher would otherwise dominate
+        simulation time.
+    """
+
+    def __init__(
+        self,
+        skews: int,
+        sets_per_skew: int,
+        seed: Optional[int] = None,
+        algorithm: str = "prince",
+    ):
+        if skews < 1:
+            raise ConfigurationError(f"need at least one skew, got {skews}")
+        if algorithm not in ("prince", "splitmix"):
+            raise ConfigurationError(f"unknown randomizer algorithm {algorithm!r}")
+        self._skews = skews
+        self._index_bits = log2_exact(sets_per_skew)
+        self._sets_per_skew = sets_per_skew
+        self._algorithm = algorithm
+        self._seed_rng = make_rng(derive_seed(seed, 0xC1F))
+        self._epoch = 0
+        self._ciphers: List[Prince] = []
+        self._mix_keys: List[int] = []
+        self._memo: dict = {}
+        self.rekey()
+
+    @property
+    def skews(self) -> int:
+        return self._skews
+
+    @property
+    def sets_per_skew(self) -> int:
+        return self._sets_per_skew
+
+    @property
+    def epoch(self) -> int:
+        """Number of rekeys performed (0 after construction is 1st key)."""
+        return self._epoch
+
+    def rekey(self) -> None:
+        """Draw fresh 128-bit keys for every skew and drop the memo.
+
+        Models the key refresh performed at boot and, per Section IV,
+        after any detected SAE; also used by CEASER's periodic remap.
+        """
+        if self._algorithm == "prince":
+            self._ciphers = [Prince(self._seed_rng.getrandbits(128)) for _ in range(self._skews)]
+        else:
+            self._mix_keys = [self._seed_rng.getrandbits(64) for _ in range(self._skews)]
+        self._memo.clear()
+        self._epoch += 1
+
+    def _raw_indices(self, line_addr: int, sdid: int) -> tuple:
+        tweaked = line_addr ^ (sdid << 56)
+        if self._algorithm == "prince":
+            return tuple(
+                fold_xor(self._ciphers[s].encrypt(tweaked), self._index_bits)
+                for s in range(self._skews)
+            )
+        out = []
+        m64 = (1 << 64) - 1
+        for key in self._mix_keys:
+            x = (tweaked ^ key) & m64
+            x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & m64
+            x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & m64
+            x ^= x >> 31
+            out.append(fold_xor(x, self._index_bits))
+        return tuple(out)
+
+    def set_index(self, line_addr: int, skew: int = 0, sdid: int = 0) -> int:
+        """Set index of ``line_addr`` in ``skew`` for security domain ``sdid``."""
+        key = (line_addr, sdid)
+        cached = self._memo.get(key)
+        if cached is None:
+            cached = self._raw_indices(line_addr, sdid)
+            if len(self._memo) >= 1 << 20:
+                self._memo.clear()
+            self._memo[key] = cached
+        return cached[skew]
+
+    def all_indices(self, line_addr: int, sdid: int = 0) -> Tuple[int, ...]:
+        """Set indices of ``line_addr`` in every skew (one cipher pass each)."""
+        self.set_index(line_addr, 0, sdid)
+        return self._memo[(line_addr, sdid)]
+
+    def encrypt_address(self, line_addr: int, skew: int = 0) -> int:
+        """Full 64-bit encrypted address (CEASER stores this as the tag).
+
+        Uses the cipher under ``"prince"``; under ``"splitmix"`` it is
+        the 64-bit mixer output (a bijection, so the CEASER model's
+        one-to-one mapping argument still holds).
+        """
+        if self._algorithm == "prince":
+            return self._ciphers[skew].encrypt(line_addr)
+        m64 = (1 << 64) - 1
+        x = (line_addr ^ self._mix_keys[skew]) & m64
+        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & m64
+        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & m64
+        return x ^ (x >> 31)

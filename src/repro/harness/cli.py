@@ -1,0 +1,166 @@
+"""Command-line entry point: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro.harness.cli list
+    python -m repro.harness.cli table8
+    python -m repro.harness.cli fig9 --fast
+    python -m repro.harness.cli all --fast
+
+``--fast`` shrinks iteration counts ~4x for a quick smoke run; default
+counts match the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+from .experiments import (
+    core_count_sensitivity,
+    fig1_dead_blocks,
+    fig4_reuse_ways,
+    fig6_bucket_spills,
+    fig7_occupancy,
+    fig8_occupancy_attack,
+    fig9_homogeneous,
+    fig10_heterogeneous,
+    fitting_and_tag_eviction,
+    llc_size_sensitivity,
+    table1_reuse_security,
+    table4_associativity,
+    table7_mpki,
+    table8_storage,
+    table9_power,
+    table10_summary,
+    table11_partitioning,
+)
+
+
+def _scaled(value: int, fast: bool) -> int:
+    return max(500, value // 4) if fast else value
+
+
+def _experiments(fast: bool) -> Dict[str, Tuple[str, Callable[[], str]]]:
+    acc = lambda n: _scaled(n, fast)  # noqa: E731
+    return {
+        "fig1": (
+            "dead-block percentages (baseline vs Mirage)",
+            lambda: fig1_dead_blocks.report(
+                fig1_dead_blocks.run(accesses=acc(8000), warmup=acc(4000))
+            ),
+        ),
+        "fig4": (
+            "performance vs reuse ways",
+            lambda: fig4_reuse_ways.report(
+                fig4_reuse_ways.run(accesses_per_core=acc(6000), warmup_per_core=acc(3000))
+            ),
+        ),
+        "fig6": (
+            "bucket spills vs capacity",
+            lambda: fig6_bucket_spills.report(fig6_bucket_spills.run(iterations=acc(120_000))),
+        ),
+        "fig7": (
+            "occupancy distribution: simulation vs analytical",
+            lambda: fig7_occupancy.report(fig7_occupancy.run(iterations=acc(100_000))),
+        ),
+        "fig8": (
+            "occupancy-attack hardness (normalized to fully associative)",
+            lambda: fig8_occupancy_attack.report(
+                fig8_occupancy_attack.run(trials=1 if fast else 3)
+            ),
+        ),
+        "fig9": (
+            "homogeneous-mix weighted speedups",
+            lambda: fig9_homogeneous.report(
+                fig9_homogeneous.run(accesses_per_core=acc(8000), warmup_per_core=acc(5000))
+            ),
+        ),
+        "fig10": (
+            "heterogeneous-mix weighted speedups",
+            lambda: fig10_heterogeneous.report(
+                fig10_heterogeneous.run(accesses_per_core=acc(6000), warmup_per_core=acc(3000))
+            ),
+        ),
+        "table1": (
+            "installs/SAE vs reuse x invalid ways",
+            lambda: table1_reuse_security.report(table1_reuse_security.run()),
+        ),
+        "table4": (
+            "installs/SAE vs tag-store associativity",
+            lambda: table4_associativity.report(table4_associativity.run()),
+        ),
+        "table7": (
+            "average LLC MPKIs",
+            lambda: table7_mpki.report(
+                table7_mpki.run(accesses_per_core=acc(6000), warmup_per_core=acc(3000))
+            ),
+        ),
+        "table8": ("storage overheads (exact)", lambda: table8_storage.report(table8_storage.run())),
+        "table9": ("energy/power/area", lambda: table9_power.report(table9_power.run())),
+        "table10": (
+            "security/storage/performance summary",
+            lambda: table10_summary.report(
+                table10_summary.run(accesses_per_core=acc(5000), warmup_per_core=acc(3000))
+            ),
+        ),
+        "table11": (
+            "secure partitioning baselines",
+            lambda: table11_partitioning.report(
+                table11_partitioning.run(accesses_per_core=acc(6000), warmup_per_core=acc(3000))
+            ),
+        ),
+        "llc-size": (
+            "sensitivity to LLC size",
+            lambda: llc_size_sensitivity.report(
+                llc_size_sensitivity.run(accesses_per_core=acc(5000), warmup_per_core=acc(2500))
+            ),
+        ),
+        "cores": (
+            "sensitivity to core count",
+            lambda: core_count_sensitivity.report(
+                core_count_sensitivity.run(accesses_per_core=acc(3000), warmup_per_core=acc(1500))
+            ),
+        ),
+        "fitting": (
+            "LLC-fitting benchmarks + premature tag evictions",
+            lambda: fitting_and_tag_eviction.report(
+                fitting_and_tag_eviction.run(accesses_per_core=acc(5000), warmup_per_core=acc(2500))
+            ),
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the Maya paper's tables and figures.",
+    )
+    parser.add_argument("experiment", help="experiment id, 'list', or 'all'")
+    parser.add_argument("--fast", action="store_true", help="~4x fewer iterations")
+    args = parser.parse_args(argv)
+
+    registry = _experiments(args.fast)
+    if args.experiment == "list":
+        for name, (description, _) in registry.items():
+            print(f"{name:10s} {description}")
+        return 0
+
+    names = list(registry) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; try 'list'", file=sys.stderr)
+        return 2
+    for name in names:
+        description, runner = registry[name]
+        print(f"\n=== {name}: {description} ===")
+        start = time.time()
+        print(runner())
+        print(f"[{time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

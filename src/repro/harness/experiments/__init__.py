@@ -1,0 +1,28 @@
+"""One module per reproduced table/figure (see DESIGN.md's index).
+
+Every module exposes ``run(...)`` returning structured results plus a
+``report(...)`` helper that prints the same rows/series the paper
+shows.  Benchmarks call ``run`` with reduced iteration counts; the
+examples and EXPERIMENTS.md use the defaults.
+"""
+
+from . import (  # noqa: F401
+    core_count_sensitivity,
+    fig1_dead_blocks,
+    fig4_reuse_ways,
+    fig6_bucket_spills,
+    fig7_occupancy,
+    fig8_occupancy_attack,
+    fig9_homogeneous,
+    fig10_heterogeneous,
+    fitting_and_tag_eviction,
+    llc_size_sensitivity,
+    opt_gap,
+    table1_reuse_security,
+    table4_associativity,
+    table7_mpki,
+    table8_storage,
+    table9_power,
+    table10_summary,
+    table11_partitioning,
+)

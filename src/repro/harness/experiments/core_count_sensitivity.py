@@ -1,0 +1,69 @@
+"""Section V-B "Sensitivity to number of cores".
+
+Maya vs baseline at 8, 16, and 32 cores (LLC scaled at 2 MB-equivalent
+per core, as the paper does).  Paper shape: marginal improvements over
+the respective baselines at every core count, with the deltas
+*saturating* - the 16->32 change is smaller than the 8->16 change -
+showing the design extends to many-core systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ...common.config import CacheGeometry, MayaConfig, SystemConfig
+from ...core import MayaCache
+from ...hierarchy import normalized_weighted_speedup, run_mix
+from ...llc import BaselineLLC
+from ...trace import homogeneous
+from ..formatting import geomean, render_table
+
+DEFAULT_CORE_SWEEP = (4, 8, 16)
+DEFAULT_WORKLOADS = ("mcf", "wrf")
+#: LLC sets per core at experiment scale (2 MB/core full-scale analog).
+SETS_PER_CORE = 128
+
+
+@dataclass
+class CoreCountRow:
+    cores: int
+    maya_ws: float
+
+
+def run(
+    core_sweep: Sequence[int] = DEFAULT_CORE_SWEEP,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    accesses_per_core: int = 4_000,
+    warmup_per_core: int = 2_000,
+    seed: int = 5,
+) -> Dict[int, CoreCountRow]:
+    rows: Dict[int, CoreCountRow] = {}
+    for cores in core_sweep:
+        llc_sets = SETS_PER_CORE * cores
+        system = SystemConfig(
+            cores=cores,
+            l1d_geometry=CacheGeometry(sets=16, ways=12),
+            l2_geometry=CacheGeometry(sets=128, ways=8),
+            llc_geometry=CacheGeometry(sets=llc_sets, ways=16),
+        )
+        maya_cfg = MayaConfig(sets_per_skew=llc_sets, rng_seed=seed, hash_algorithm="splitmix")
+        speedups = []
+        for bench in workloads:
+            mix = homogeneous(bench, cores=cores)
+            base = run_mix(
+                BaselineLLC(system.llc_geometry), mix, system, accesses_per_core, warmup_per_core, seed=seed
+            )
+            maya = run_mix(
+                MayaCache(maya_cfg), mix, system, accesses_per_core, warmup_per_core, seed=seed
+            )
+            speedups.append(normalized_weighted_speedup(maya, base))
+        rows[cores] = CoreCountRow(cores=cores, maya_ws=geomean(speedups))
+    return rows
+
+
+def report(rows: Dict[int, CoreCountRow]) -> str:
+    return render_table(
+        ("cores", "Maya WS vs baseline"),
+        [(r.cores, f"{r.maya_ws:.3f}") for r in rows.values()],
+    )

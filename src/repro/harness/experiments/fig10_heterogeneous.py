@@ -1,0 +1,78 @@
+"""Fig. 10: weighted speedup on the 21 heterogeneous mixes (Table VI).
+
+Paper shapes: Maya averages ~+1.5% with >4% wins on low-MPKI mixes
+(reduced inter-core interference) and marginal slowdowns on the
+medium/high bins; Mirage is marginally below baseline throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ...core import MayaCache
+from ...hierarchy import normalized_weighted_speedup, run_mix
+from ...llc import BaselineLLC, MirageCache
+from ...trace import HETEROGENEOUS_MIXES
+from ..formatting import geomean, render_table
+from ..presets import experiment_maya, experiment_mirage, experiment_system
+
+
+@dataclass
+class MixRow:
+    mix: str
+    bin: str
+    maya_ws: float
+    mirage_ws: float
+    baseline_mpki: float
+
+
+def run(
+    mixes: Optional[Sequence[str]] = None,
+    accesses_per_core: int = 10_000,
+    warmup_per_core: int = 6_000,
+    seed: int = 5,
+) -> Dict[str, MixRow]:
+    """Run the heterogeneous sweep; returns one row per mix."""
+    names = list(mixes or HETEROGENEOUS_MIXES)
+    system = experiment_system()
+    rows: Dict[str, MixRow] = {}
+    for name in names:
+        mix = HETEROGENEOUS_MIXES[name]
+        base = run_mix(
+            BaselineLLC(system.llc_geometry), mix, system, accesses_per_core, warmup_per_core, seed=seed
+        )
+        maya = run_mix(
+            MayaCache(experiment_maya(seed=seed)), mix, system, accesses_per_core, warmup_per_core, seed=seed
+        )
+        mirage = run_mix(
+            MirageCache(experiment_mirage(seed=seed)), mix, system, accesses_per_core, warmup_per_core, seed=seed
+        )
+        rows[name] = MixRow(
+            mix=name,
+            bin=mix.bin,
+            maya_ws=normalized_weighted_speedup(maya, base),
+            mirage_ws=normalized_weighted_speedup(mirage, base),
+            baseline_mpki=base.llc_mpki,
+        )
+    return rows
+
+
+def bin_geomean(rows: Dict[str, MixRow], bin_: str, design: str) -> float:
+    values = [getattr(r, f"{design}_ws") for r in rows.values() if r.bin == bin_]
+    return geomean(values) if values else float("nan")
+
+
+def report(rows: Dict[str, MixRow]) -> str:
+    table = render_table(
+        ("mix", "bin", "Maya WS", "Mirage WS", "base MPKI"),
+        [(r.mix, r.bin, f"{r.maya_ws:.3f}", f"{r.mirage_ws:.3f}", f"{r.baseline_mpki:.1f}") for r in rows.values()],
+    )
+    lines = [table]
+    for bin_ in ("L", "M", "H"):
+        if any(r.bin == bin_ for r in rows.values()):
+            lines.append(
+                f"bin {bin_}: Maya {bin_geomean(rows, bin_, 'maya'):.3f}, "
+                f"Mirage {bin_geomean(rows, bin_, 'mirage'):.3f}"
+            )
+    return "\n".join(lines)

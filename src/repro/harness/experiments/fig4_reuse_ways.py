@@ -1,0 +1,78 @@
+"""Fig. 4: performance sensitivity to the number of reuse ways.
+
+Maya with 1, 3, 5, and 7 reuse ways per skew (data store fixed at 6
+base ways per skew), normalized to the non-secure baseline.  Paper
+shape: one reuse way under-detects reuse (marginal overhead), three is
+the sweet spot, five/seven lose a little because the wider tag lookup
+adds latency (modelled here as one extra lookup cycle, as the paper
+describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ...core import MayaCache
+from ...hierarchy import normalized_weighted_speedup, run_mix
+from ...llc import BaselineLLC
+from ...trace import SPEC_MEMORY_INTENSIVE, homogeneous
+from ..formatting import geomean, render_table
+from ..presets import experiment_maya, experiment_system
+
+#: Reuse-way counts the paper sweeps.
+REUSE_WAY_OPTIONS = (1, 3, 5, 7)
+
+
+def _maya_for_reuse_ways(reuse_ways: int, seed: int) -> MayaCache:
+    cache = MayaCache(experiment_maya(reuse_ways_per_skew=reuse_ways, seed=seed))
+    if reuse_ways >= 5:
+        # Wider tag sets lengthen the associative lookup (Section III-C).
+        cache.extra_lookup_latency = MayaCache.extra_lookup_latency + 1
+    return cache
+
+
+@dataclass
+class ReuseWaysResult:
+    """Normalized WS per (benchmark, reuse ways)."""
+
+    speedups: Dict[Tuple[str, int], float]
+
+    def average(self, reuse_ways: int) -> float:
+        values = [ws for (_, r), ws in self.speedups.items() if r == reuse_ways]
+        return geomean(values) if values else float("nan")
+
+
+def run(
+    workloads: Optional[Sequence[str]] = None,
+    reuse_options: Sequence[int] = REUSE_WAY_OPTIONS,
+    accesses_per_core: int = 8_000,
+    warmup_per_core: int = 5_000,
+    seed: int = 5,
+) -> ReuseWaysResult:
+    workloads = list(workloads or SPEC_MEMORY_INTENSIVE)
+    system = experiment_system()
+    speedups: Dict[Tuple[str, int], float] = {}
+    for bench in workloads:
+        mix = homogeneous(bench)
+        base = run_mix(
+            BaselineLLC(system.llc_geometry), mix, system, accesses_per_core, warmup_per_core, seed=seed
+        )
+        for reuse in reuse_options:
+            maya = run_mix(
+                _maya_for_reuse_ways(reuse, seed), mix, system, accesses_per_core, warmup_per_core, seed=seed
+            )
+            speedups[(bench, reuse)] = normalized_weighted_speedup(maya, base)
+    return ReuseWaysResult(speedups=speedups)
+
+
+def report(result: ReuseWaysResult, reuse_options: Sequence[int] = REUSE_WAY_OPTIONS) -> str:
+    benches = sorted({b for b, _ in result.speedups})
+    rows = [
+        [bench] + [f"{result.speedups[(bench, r)]:.3f}" for r in reuse_options]
+        for bench in benches
+    ]
+    rows.append(["geomean"] + [f"{result.average(r):.3f}" for r in reuse_options])
+    return render_table(
+        ["benchmark"] + [f"{r} reuse ways" for r in reuse_options], rows
+    )

@@ -1,0 +1,94 @@
+"""Fig. 9: weighted speedup of Maya and Mirage on homogeneous mixes.
+
+Eight copies of each memory-intensive benchmark share the LLC; each
+design's weighted speedup is normalized to the non-secure baseline.
+Paper shapes: Maya averages slightly *above* 1.0 on SPEC (+0.2%) with
+wins on conflict-heavy benchmarks (mcf, wrf, fotonik3d) and losses on
+cache-fitting ones (cactuBSSN, cam4) and streaming (lbm); pr is a
+large win for both randomized designs; Mirage averages slightly below
+baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ...core import MayaCache
+from ...hierarchy import normalized_weighted_speedup, run_mix
+from ...llc import BaselineLLC, MirageCache
+from ...trace import GAP_MEMORY_INTENSIVE, SPEC_MEMORY_INTENSIVE, homogeneous
+from ..formatting import geomean, render_table
+from ..presets import experiment_maya, experiment_mirage, experiment_system
+
+
+@dataclass
+class SpeedupRow:
+    benchmark: str
+    suite: str
+    maya_ws: float
+    mirage_ws: float
+    baseline_mpki: float
+    maya_mpki: float
+    mirage_mpki: float
+
+
+def run(
+    workloads: Optional[Sequence[str]] = None,
+    accesses_per_core: int = 10_000,
+    warmup_per_core: int = 6_000,
+    seed: int = 5,
+) -> Dict[str, SpeedupRow]:
+    """Run the homogeneous sweep; returns one row per benchmark."""
+    spec = set(SPEC_MEMORY_INTENSIVE)
+    workloads = list(workloads or (list(SPEC_MEMORY_INTENSIVE) + list(GAP_MEMORY_INTENSIVE)))
+    system = experiment_system()
+    rows: Dict[str, SpeedupRow] = {}
+    for bench in workloads:
+        mix = homogeneous(bench)
+        base = run_mix(
+            BaselineLLC(system.llc_geometry), mix, system, accesses_per_core, warmup_per_core, seed=seed
+        )
+        maya = run_mix(
+            MayaCache(experiment_maya(seed=seed)), mix, system, accesses_per_core, warmup_per_core, seed=seed
+        )
+        mirage = run_mix(
+            MirageCache(experiment_mirage(seed=seed)), mix, system, accesses_per_core, warmup_per_core, seed=seed
+        )
+        rows[bench] = SpeedupRow(
+            benchmark=bench,
+            suite="spec" if bench in spec else "gap",
+            maya_ws=normalized_weighted_speedup(maya, base),
+            mirage_ws=normalized_weighted_speedup(mirage, base),
+            baseline_mpki=base.llc_mpki,
+            maya_mpki=maya.llc_mpki,
+            mirage_mpki=mirage.llc_mpki,
+        )
+    return rows
+
+
+def suite_geomean(rows: Dict[str, SpeedupRow], suite: str, design: str) -> float:
+    """Geometric-mean normalized WS over one suite for one design."""
+    values = [
+        getattr(r, f"{design}_ws") for r in rows.values() if r.suite == suite
+    ]
+    return geomean(values) if values else float("nan")
+
+
+def report(rows: Dict[str, SpeedupRow]) -> str:
+    table = render_table(
+        ("benchmark", "suite", "Maya WS", "Mirage WS", "base MPKI", "Maya MPKI"),
+        [
+            (r.benchmark, r.suite, f"{r.maya_ws:.3f}", f"{r.mirage_ws:.3f}",
+             f"{r.baseline_mpki:.1f}", f"{r.maya_mpki:.1f}")
+            for r in rows.values()
+        ],
+    )
+    lines = [table]
+    for suite in ("spec", "gap"):
+        if any(r.suite == suite for r in rows.values()):
+            lines.append(
+                f"{suite.upper()} geomean: Maya {suite_geomean(rows, suite, 'maya'):.3f}, "
+                f"Mirage {suite_geomean(rows, suite, 'mirage'):.3f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Two Section V-B text results with no figure of their own.
+
+* **LLC-fitting benchmarks**: SPEC workloads with MPKI < 0.5 lose only
+  ~0.63% on Maya (the smaller data store barely matters when nearly
+  everything hits anyway, and tag-only first misses are rare).
+* **Impact of random global tag eviction**: the fraction of global
+  random tag evictions that discard a priority-0 entry which *would*
+  have been reused is tiny (paper: <0.022% of evictions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ...core import MayaCache
+from ...hierarchy import normalized_weighted_speedup, run_mix
+from ...llc import BaselineLLC
+from ...trace import LLC_FITTING, homogeneous
+from ..formatting import geomean, percent
+from ..presets import experiment_maya, experiment_system
+
+
+@dataclass
+class FittingResult:
+    maya_ws: float
+    premature_eviction_fraction: float
+
+    @property
+    def performance_delta(self) -> float:
+        return self.maya_ws - 1.0
+
+
+#: The premature-eviction measurement uses the paper's population -
+#: memory-intensive homogeneous mixes, where almost all priority-0
+#: entries are dead anyway.
+PREMATURE_WORKLOADS = ("mcf", "lbm", "cc")
+
+
+def run(
+    workloads: Sequence[str] = LLC_FITTING,
+    premature_workloads: Sequence[str] = PREMATURE_WORKLOADS,
+    accesses_per_core: int = 6_000,
+    warmup_per_core: int = 3_000,
+    seed: int = 5,
+) -> FittingResult:
+    system = experiment_system()
+    speedups = []
+    for bench in workloads:
+        mix = homogeneous(bench)
+        base = run_mix(
+            BaselineLLC(system.llc_geometry), mix, system, accesses_per_core, warmup_per_core, seed=seed
+        )
+        maya_llc = MayaCache(experiment_maya(seed=seed))
+        maya = run_mix(maya_llc, mix, system, accesses_per_core, warmup_per_core, seed=seed)
+        speedups.append(normalized_weighted_speedup(maya, base))
+
+    premature = 0
+    tag_evictions = 0
+    for bench in premature_workloads:
+        mix = homogeneous(bench)
+        maya_llc = MayaCache(experiment_maya(seed=seed))
+        run_mix(maya_llc, mix, system, accesses_per_core, warmup_per_core, seed=seed)
+        premature += maya_llc.premature_p0_evictions
+        tag_evictions += maya_llc.stats.tag_evictions
+    return FittingResult(
+        maya_ws=geomean(speedups),
+        premature_eviction_fraction=premature / tag_evictions if tag_evictions else 0.0,
+    )
+
+
+def report(result: FittingResult) -> str:
+    return (
+        f"LLC-fitting benchmarks, Maya vs baseline: {percent(result.performance_delta, 2)} "
+        f"(paper: -0.63%)\n"
+        f"premature priority-0 evictions: {result.premature_eviction_fraction:.4%} of "
+        f"global random tag evictions (paper: <0.022% lost reuse)"
+    )

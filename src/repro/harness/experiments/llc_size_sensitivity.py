@@ -1,0 +1,76 @@
+"""Section V-B "Sensitivity to LLC size".
+
+Maya with data stores from 6 MB-equivalent upward (the paper sweeps
+6 MB to 96 MB, i.e. baseline LLCs of 8 MB to 128 MB, scaling the tag
+store proportionately).  Paper shape: the smallest configuration shows
+the *best* relative performance against its same-capacity baseline
+(reuse filtering matters most when capacity is scarce), and the
+advantage shrinks as the LLC grows and the working set starts fitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ...common.config import CacheGeometry, MayaConfig, SystemConfig
+from ...core import MayaCache
+from ...hierarchy import normalized_weighted_speedup, run_mix
+from ...llc import BaselineLLC
+from ...trace import homogeneous
+from ..formatting import geomean, render_table
+
+#: LLC set counts swept (scaled analogues of the paper's 8-128 MB).
+DEFAULT_SET_SWEEP = (512, 1024, 2048)
+DEFAULT_WORKLOADS = ("mcf", "wrf", "cc")
+
+
+@dataclass
+class SizeRow:
+    llc_sets: int
+    baseline_mb_equivalent: float
+    maya_ws: float
+
+
+def run(
+    set_sweep: Sequence[int] = DEFAULT_SET_SWEEP,
+    workloads: Sequence[str] = DEFAULT_WORKLOADS,
+    accesses_per_core: int = 6_000,
+    warmup_per_core: int = 3_000,
+    seed: int = 5,
+) -> Dict[int, SizeRow]:
+    rows: Dict[int, SizeRow] = {}
+    for llc_sets in set_sweep:
+        system = SystemConfig(
+            cores=8,
+            l1d_geometry=CacheGeometry(sets=16, ways=12),
+            l2_geometry=CacheGeometry(sets=128, ways=8),
+            llc_geometry=CacheGeometry(sets=llc_sets, ways=16),
+        )
+        maya_cfg = MayaConfig(sets_per_skew=llc_sets, rng_seed=seed, hash_algorithm="splitmix")
+        speedups = []
+        for bench in workloads:
+            mix = homogeneous(bench)
+            base = run_mix(
+                BaselineLLC(system.llc_geometry), mix, system, accesses_per_core, warmup_per_core, seed=seed
+            )
+            maya = run_mix(
+                MayaCache(maya_cfg), mix, system, accesses_per_core, warmup_per_core, seed=seed
+            )
+            speedups.append(normalized_weighted_speedup(maya, base))
+        rows[llc_sets] = SizeRow(
+            llc_sets=llc_sets,
+            baseline_mb_equivalent=llc_sets * 16 * 64 * 16 / (1 << 20),
+            maya_ws=geomean(speedups),
+        )
+    return rows
+
+
+def report(rows: Dict[int, SizeRow]) -> str:
+    return render_table(
+        ("LLC sets", "baseline MB (full-scale equiv)", "Maya WS vs same-size baseline"),
+        [
+            (r.llc_sets, f"{r.baseline_mb_equivalent:.0f}", f"{r.maya_ws:.3f}")
+            for r in rows.values()
+        ],
+    )

@@ -1,0 +1,125 @@
+"""Table X: the security / storage / performance summary.
+
+One row per design - Maya, Mirage, Mirage-Lite (4 extra invalid ways
+per skew), and Maya-ISO (baseline-sized data store) - combining the
+analytical security guarantee, the exact storage arithmetic, and a
+(reduced) SPEC homogeneous performance sweep.  Paper values: Maya
+1e32 installs/SAE at -2% storage and +0.20% performance; Mirage 1e34
+at +20% and -0.55%; Mirage-Lite 1e21 at +17%; Maya-ISO 1e30 at +26%
+and +1.84%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ...common.config import MirageConfig
+from ...core import MayaCache
+from ...hierarchy import normalized_weighted_speedup, run_mix
+from ...llc import BaselineLLC, MirageCache
+from ...power.storage import (
+    baseline_storage,
+    maya_iso_area_storage,
+    maya_storage,
+    mirage_storage,
+    StorageBreakdown,
+)
+from ...security.analytical import SecurityEstimate, analyze, analyze_mirage
+from ...trace import homogeneous
+from ..formatting import geomean, percent, render_table, sci
+from ..presets import (
+    experiment_maya,
+    experiment_maya_iso_area,
+    experiment_mirage,
+    experiment_system,
+)
+
+#: Reduced SPEC subset for the performance column (keeps Table X fast).
+DEFAULT_PERF_WORKLOADS = ("mcf", "wrf", "lbm", "xz", "cactuBSSN")
+
+
+@dataclass
+class SummaryRow:
+    design: str
+    security: SecurityEstimate
+    storage: StorageBreakdown
+    performance_ws: float
+
+    @property
+    def storage_overhead(self) -> float:
+        return self.storage.overhead_vs(baseline_storage())
+
+
+def _mirage_lite_storage() -> StorageBreakdown:
+    # Mirage with one fewer extra invalid way per skew (13 ways/skew);
+    # the closest discrete point to the paper's Mirage-Lite row.
+    return mirage_storage(MirageConfig(extra_ways_per_skew=5))
+
+
+def run(
+    perf_workloads: Optional[Sequence[str]] = None,
+    accesses_per_core: int = 6_000,
+    warmup_per_core: int = 4_000,
+    seed: int = 5,
+) -> Dict[str, SummaryRow]:
+    workloads = list(perf_workloads or DEFAULT_PERF_WORKLOADS)
+    system = experiment_system()
+
+    designs = {
+        "Maya": (lambda: MayaCache(experiment_maya(seed=seed)), analyze(6, 3, 6), maya_storage()),
+        "Mirage": (lambda: MirageCache(experiment_mirage(seed=seed)), analyze_mirage(8, 6), mirage_storage()),
+        "Mirage-Lite": (
+            lambda: MirageCache(
+                MirageConfig(
+                    sets_per_skew=system.llc_geometry.sets,
+                    extra_ways_per_skew=5,
+                    rng_seed=seed,
+                    hash_algorithm="splitmix",
+                )
+            ),
+            analyze_mirage(8, 5),
+            _mirage_lite_storage(),
+        ),
+        "Maya ISO": (
+            lambda: MayaCache(experiment_maya_iso_area(seed=seed)),
+            analyze(8, 3, 6),
+            maya_iso_area_storage(),
+        ),
+    }
+
+    speedups: Dict[str, list] = {name: [] for name in designs}
+    for bench in workloads:
+        mix = homogeneous(bench)
+        base = run_mix(
+            BaselineLLC(system.llc_geometry), mix, system, accesses_per_core, warmup_per_core, seed=seed
+        )
+        for name, (factory, _, _) in designs.items():
+            result = run_mix(factory(), mix, system, accesses_per_core, warmup_per_core, seed=seed)
+            speedups[name].append(normalized_weighted_speedup(result, base))
+
+    return {
+        name: SummaryRow(
+            design=name,
+            security=sec,
+            storage=storage,
+            performance_ws=geomean(speedups[name]),
+        )
+        for name, (_, sec, storage) in designs.items()
+    }
+
+
+def report(rows: Dict[str, SummaryRow]) -> str:
+    return render_table(
+        ("design", "installs/SAE", "years/SAE", "storage", "performance"),
+        [
+            (
+                r.design,
+                sci(r.security.installs_per_sae),
+                sci(r.security.years_per_sae),
+                percent(r.storage_overhead),
+                percent(r.performance_ws - 1.0, 2),
+            )
+            for r in rows.values()
+        ],
+    )

@@ -1,0 +1,42 @@
+"""Table I: cache line installs per SAE over reuse x invalid ways.
+
+Analytical Birth-Death estimates (the paper's own method for the
+configurations that cannot be simulated), cross-checkable against the
+bucket-and-balls model at low capacities.  Paper values (order of
+magnitude): with 6 invalid ways per skew - 2e36 / 4e32 / 7e31 / 2e30
+installs per SAE for 1 / 3 / 5 / 7 reuse ways; with 5 invalid ways -
+1e18 / 1e16 / 6e15 / 1e15.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ...security.analytical import SecurityEstimate, reuse_ways_sweep
+from ..formatting import render_table, sci
+
+
+def run(
+    invalid_options: Sequence[int] = (5, 6),
+    reuse_options: Sequence[int] = (1, 3, 5, 7),
+    base_ways_per_skew: int = 6,
+) -> Dict[int, Dict[int, SecurityEstimate]]:
+    return reuse_ways_sweep(
+        invalid_options=invalid_options,
+        reuse_options=reuse_options,
+        base_ways_per_skew=base_ways_per_skew,
+    )
+
+
+def report(table: Dict[int, Dict[int, SecurityEstimate]]) -> str:
+    invalid_options = sorted(table)
+    reuse_options = sorted(next(iter(table.values())))
+    rows = []
+    for reuse in reuse_options:
+        row = [f"{reuse}-way"]
+        for invalid in invalid_options:
+            est = table[invalid][reuse]
+            row.append(f"{sci(est.installs_per_sae)} ({sci(est.years_per_sae)} yrs)")
+        rows.append(row)
+    headers = ["Reuse ways/skew"] + [f"{i} invalid ways/skew" for i in invalid_options]
+    return render_table(headers, rows)

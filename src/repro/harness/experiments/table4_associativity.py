@@ -1,0 +1,37 @@
+"""Table IV: installs per SAE vs base associativity of the tag store.
+
+Base associativity 8 / 18 / 36 total ways (per-skew base+reuse of 3+1,
+6+3, 12+6) x 4 / 5 / 6 extra invalid ways per skew.  Paper values
+(order of magnitude): I4 - 1e10 / 1e8 / 1e7; I5 - 1e20 / 1e16 / 1e14;
+I6 - 1e40 / 1e32 / 1e28.  Lower associativity is *more* secure because
+the occupancy distribution's tail is tighter relative to the same
+invalid-way margin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from ...security.analytical import SecurityEstimate, associativity_sweep
+from ..formatting import render_table, sci
+
+
+def run(
+    invalid_options: Sequence[int] = (4, 5, 6),
+    associativities: Sequence[Tuple[int, int]] = ((3, 1), (6, 3), (12, 6)),
+) -> Dict[int, Dict[int, SecurityEstimate]]:
+    return associativity_sweep(invalid_options=invalid_options, associativities=associativities)
+
+
+def report(table: Dict[int, Dict[int, SecurityEstimate]]) -> str:
+    invalid_options = sorted(table)
+    assoc_keys = sorted(next(iter(table.values())))
+    rows = []
+    for invalid in invalid_options:
+        row = [f"{invalid} extra ways/skew"]
+        for key in assoc_keys:
+            est = table[invalid][key]
+            row.append(f"{sci(est.installs_per_sae)} ({sci(est.years_per_sae)} yrs)")
+        rows.append(row)
+    headers = ["Invalid ways"] + [f"{k}-ways" for k in assoc_keys]
+    return render_table(headers, rows)

@@ -1,0 +1,41 @@
+"""Table IX: dynamic energy, static power, and area.
+
+Uses the paper-calibrated CACTI-lite linear model
+(:mod:`repro.power.cacti_lite`); all four published anchors reproduce
+within 0.3%.  Expected headline deltas vs baseline: Maya saves 15.6%
+read energy, 11.4% write energy, 5.5% static power, and 28.1% area;
+Mirage adds 3.8% / 4.4% / 18.2% / 6.9%.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ...power.cacti_lite import PowerAreaEstimate, table_ix
+from ..formatting import percent, render_table
+
+
+def run() -> Dict[str, PowerAreaEstimate]:
+    return table_ix()
+
+
+def report(estimates: Dict[str, PowerAreaEstimate]) -> str:
+    baseline = estimates["Baseline"]
+    rows = []
+    for name, est in estimates.items():
+        deltas = est.relative_to(baseline)
+        rows.append(
+            (
+                name,
+                f"{est.read_energy_nj:.3f}",
+                f"{est.write_energy_nj:.3f}",
+                f"{est.static_power_mw:.0f}",
+                f"{est.area_mm2:.3f}",
+                percent(deltas["static_power"]),
+                percent(deltas["area"]),
+            )
+        )
+    return render_table(
+        ("design", "read nJ", "write nJ", "static mW", "area mm2", "static vs base", "area vs base"),
+        rows,
+    )

@@ -1,0 +1,74 @@
+"""Plain-text table rendering for experiment reports.
+
+Every experiment prints the same rows/series the paper reports; these
+helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(render_table(('a', 'b'), [(1, 'x'), (22, 'yy')]))
+    a   b
+    --  --
+    1   x
+    22  yy
+    """
+    materialized: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def sci(value: float, digits: int = 1) -> str:
+    """Compact scientific notation: ``4.2e+32`` -> ``4.2e32``.
+
+    >>> sci(4.2e32)
+    '4.2e32'
+    >>> sci(float('inf'))
+    'inf'
+    """
+    if math.isinf(value) or math.isnan(value):
+        return str(value)
+    return f"{value:.{digits}e}".replace("e+", "e").replace("e0", "e").replace("e-0", "e-")
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the conventional average for speedups).
+
+    >>> round(geomean([1.0, 4.0]), 3)
+    2.0
+    """
+    if not values:
+        raise ValueError("geomean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def percent(fraction: float, digits: int = 1) -> str:
+    """Signed percentage: 0.205 -> '+20.5%'.
+
+    >>> percent(-0.021)
+    '-2.1%'
+    """
+    return f"{fraction * 100:+.{digits}f}%"

@@ -1,0 +1,74 @@
+"""Multi-seed experiment statistics.
+
+Randomized caches are, well, randomized: a single seed's weighted
+speedup or attack count is one draw.  These helpers rerun a metric
+across seeds and report mean, spread, and a t-based 95% confidence
+interval, so experiment conclusions can be stated with error bars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class SeedStudy:
+    """Summary of one metric measured across seeds."""
+
+    values: Sequence[float]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n
+
+    @property
+    def std(self) -> float:
+        if self.n < 2:
+            return 0.0
+        m = self.mean
+        return math.sqrt(sum((v - m) ** 2 for v in self.values) / (self.n - 1))
+
+    @property
+    def median(self) -> float:
+        ordered = sorted(self.values)
+        mid = self.n // 2
+        if self.n % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2
+
+    def confidence_interval(self, level: float = 0.95):
+        """Two-sided t confidence interval for the mean."""
+        if not 0 < level < 1:
+            raise ValueError("confidence level must be in (0, 1)")
+        if self.n < 2:
+            return (self.mean, self.mean)
+        half = (
+            scipy_stats.t.ppf((1 + level) / 2, self.n - 1)
+            * self.std
+            / math.sqrt(self.n)
+        )
+        return (self.mean - half, self.mean + half)
+
+    def describe(self) -> str:
+        low, high = self.confidence_interval()
+        return f"{self.mean:.4f} [95% CI {low:.4f}, {high:.4f}] over {self.n} seeds"
+
+
+def across_seeds(metric: Callable[[int], float], seeds: Sequence[int]) -> SeedStudy:
+    """Evaluate ``metric(seed)`` for every seed and summarize.
+
+    >>> across_seeds(lambda s: float(s % 2), [0, 1, 2, 3]).mean
+    0.5
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values: List[float] = [float(metric(seed)) for seed in seeds]
+    return SeedStudy(tuple(values))

@@ -1,0 +1,29 @@
+"""Multi-core hierarchy: cores, prefetcher, DRAM, trace-driven simulator."""
+
+from .directory import CoherenceDirectory, DirectoryActions
+from .dram import DramModel
+from .prefetcher import StridePrefetcher
+from .simulator import (
+    CoreResult,
+    MixResult,
+    normalized_weighted_speedup,
+    run_mix,
+    weighted_speedup,
+)
+from .system import CacheHierarchy
+from .tlb import TlbConfig, TlbHierarchy
+
+__all__ = [
+    "CacheHierarchy",
+    "CoherenceDirectory",
+    "DirectoryActions",
+    "CoreResult",
+    "DramModel",
+    "MixResult",
+    "StridePrefetcher",
+    "TlbConfig",
+    "TlbHierarchy",
+    "normalized_weighted_speedup",
+    "run_mix",
+    "weighted_speedup",
+]

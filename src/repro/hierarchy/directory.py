@@ -1,0 +1,96 @@
+"""A coherence directory (snoop filter) for the private cache levels.
+
+The tag entries carry MOESI state (Table VIII's three coherence bits);
+this directory supplies the cross-core protocol actions when different
+cores actually share lines - which happens in the shared-memory attack
+scenarios (Flush+Reload over a shared library) and in producer/consumer
+workloads.  It tracks, per line, the set of cores with private copies
+and which core (if any) holds it modified:
+
+* a **read** by a new sharer downgrades a modified owner (its dirty
+  data is written back to the LLC),
+* a **write** invalidates every other sharer and records ownership,
+* an **eviction** removes the core from the sharer set.
+
+The paper notes directories need their own protection (SecDir [36])
+and can be partitioned; here the directory is a functional substrate,
+not a side-channel model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+
+@dataclass
+class DirectoryActions:
+    """Protocol actions a private-level request triggered."""
+
+    invalidate: List[int] = field(default_factory=list)  # core ids to invalidate
+    downgrade: Optional[int] = None  # core id that must write back / share
+
+
+class CoherenceDirectory:
+    """Full-map directory over the private L1/L2 levels."""
+
+    def __init__(self, cores: int):
+        if cores <= 0:
+            raise ValueError("need at least one core")
+        self.cores = cores
+        self._sharers: Dict[int, Set[int]] = {}
+        self._owner: Dict[int, int] = {}  # addr -> core holding it Modified
+        self.invalidations_sent = 0
+        self.downgrades_sent = 0
+
+    def sharers_of(self, line_addr: int) -> Set[int]:
+        return set(self._sharers.get(line_addr, ()))
+
+    def owner_of(self, line_addr: int) -> Optional[int]:
+        return self._owner.get(line_addr)
+
+    def on_read(self, core_id: int, line_addr: int) -> DirectoryActions:
+        """A core reads: downgrade a foreign modified owner, add sharer."""
+        actions = DirectoryActions()
+        owner = self._owner.get(line_addr)
+        if owner is not None and owner != core_id:
+            actions.downgrade = owner
+            self.downgrades_sent += 1
+            del self._owner[line_addr]
+        self._sharers.setdefault(line_addr, set()).add(core_id)
+        return actions
+
+    def on_write(self, core_id: int, line_addr: int) -> DirectoryActions:
+        """A core writes: invalidate all other sharers, take ownership."""
+        actions = DirectoryActions()
+        sharers = self._sharers.setdefault(line_addr, set())
+        for other in sorted(sharers - {core_id}):
+            actions.invalidate.append(other)
+            self.invalidations_sent += 1
+        sharers.intersection_update({core_id})
+        sharers.add(core_id)
+        self._owner[line_addr] = core_id
+        return actions
+
+    def on_eviction(self, core_id: int, line_addr: int) -> None:
+        """A core lost its last private copy of the line."""
+        sharers = self._sharers.get(line_addr)
+        if sharers is not None:
+            sharers.discard(core_id)
+            if not sharers:
+                del self._sharers[line_addr]
+        if self._owner.get(line_addr) == core_id:
+            del self._owner[line_addr]
+
+    def check_invariants(self) -> None:
+        for addr, owner in self._owner.items():
+            sharers = self._sharers.get(addr, set())
+            if sharers != {owner}:
+                raise AssertionError(
+                    f"line {addr:#x}: modified owner {owner} but sharers {sharers}"
+                )
+        for addr, sharers in self._sharers.items():
+            if not sharers:
+                raise AssertionError(f"line {addr:#x}: empty sharer set retained")
+            if any(not 0 <= c < self.cores for c in sharers):
+                raise AssertionError(f"line {addr:#x}: sharer out of range")

@@ -1,0 +1,72 @@
+"""Open-page DRAM timing model.
+
+A deliberately small model of the paper's DDR4-3200 configuration
+(Table V): per-bank open rows with a row-hit / row-miss latency split.
+The hierarchy only needs a credible latency distribution - queueing and
+scheduling are out of scope (and affect all LLC designs identically).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..common.bitops import log2_exact
+from ..common.config import DramConfig
+from ..common.addr import DEFAULT_LINE_BYTES
+
+
+class DramModel:
+    """Row-buffer-aware DRAM latency model."""
+
+    def __init__(self, config: Optional[DramConfig] = None, line_bytes: int = DEFAULT_LINE_BYTES):
+        self.config = config or DramConfig()
+        self._lines_per_row_shift = log2_exact(self.config.row_buffer_bytes // line_bytes)
+        self._open_rows: Dict[int, int] = {}
+        self._busy_until = 0.0
+        self.reads = 0
+        self.writes = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.queue_cycles = 0.0
+
+    def access(self, line_addr: int, is_write: bool = False, now: Optional[float] = None) -> float:
+        """Serve one request; returns its latency in CPU cycles.
+
+        Writes are drained from the controller's write queue between
+        read bursts (standard read-priority scheduling), so they are
+        counted but do not perturb the row state that reads observe,
+        and their latency is never on the demand path.
+
+        When the caller supplies ``now`` (its local clock), a single
+        channel-occupancy model applies: each transfer holds the
+        channel for ``service_cycles``, and requests arriving while it
+        is busy queue.  With ``now=None`` bandwidth is unmodelled
+        (infinite), the pre-existing behaviour.
+        """
+        queue_delay = 0.0
+        if now is not None:
+            queue_delay = max(0.0, self._busy_until - now)
+            self._busy_until = max(self._busy_until, now) + self.config.service_cycles
+            self.queue_cycles += queue_delay
+        if is_write:
+            self.writes += 1
+            return self.config.row_miss_cycles + queue_delay
+        row = line_addr >> self._lines_per_row_shift
+        bank = row % self.config.banks
+        hit = self._open_rows.get(bank) == row
+        self._open_rows[bank] = row
+        self.reads += 1
+        if hit:
+            self.row_hits += 1
+            return self.config.row_hit_cycles + queue_delay
+        self.row_misses += 1
+        return self.config.row_miss_cycles + queue_delay
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.reads = self.writes = self.row_hits = self.row_misses = 0
+        self.queue_cycles = 0.0

@@ -1,0 +1,201 @@
+"""The multi-core cache hierarchy.
+
+Per core: an L1D and an L2 (LRU, non-inclusive).  Shared: any
+:class:`~repro.llc.interface.LLCache` design and the DRAM model.  The
+demand path charges latency level by level (Table V values); dirty
+evictions ripple down as posted writebacks that cost no demand latency.
+
+The timing model is *stall accounting*, not cycle-accurate OoO: each
+access's latency is divided by an MLP factor that stands in for the
+overlap an out-of-order core extracts.  This preserves exactly what the
+paper's comparisons measure - relative miss counts times relative
+latencies - at Python-friendly speed (see DESIGN.md "Substitutions").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cache.set_assoc import SetAssociativeCache
+from ..common.config import SystemConfig
+from ..llc.interface import LLCache
+from .directory import CoherenceDirectory
+from .dram import DramModel
+from .prefetcher import StridePrefetcher
+from .tlb import TlbHierarchy
+
+
+class CacheHierarchy:
+    """L1D + L2 per core over a shared LLC and DRAM."""
+
+    def __init__(
+        self,
+        llc: LLCache,
+        config: Optional[SystemConfig] = None,
+        enable_prefetch: bool = True,
+        enable_tlb: bool = False,
+        enable_coherence: bool = False,
+        mlp_factor: float = 2.0,
+    ):
+        """``enable_tlb`` adds Table V's two-level TLB in front of every
+        demand access.  Translation latency is identical across LLC
+        designs, so the comparative experiments leave it off by
+        default; switch it on for absolute-IPC studies.
+
+        ``enable_coherence`` activates the MOESI directory over the
+        private levels: cross-core writes invalidate other cores'
+        copies and reads downgrade modified owners.  The standard
+        experiments run disjoint per-core address spaces where the
+        directory never fires; shared-memory scenarios need it."""
+        self.config = config or SystemConfig()
+        self.llc = llc
+        if mlp_factor < 1.0:
+            raise ValueError("MLP factor cannot be below 1 (no negative overlap)")
+        self.mlp_factor = mlp_factor
+        cores = self.config.cores
+        self.l1 : List[SetAssociativeCache] = [
+            SetAssociativeCache(self.config.l1d_geometry, policy="lru", name=f"L1D[{c}]")
+            for c in range(cores)
+        ]
+        self.l2: List[SetAssociativeCache] = [
+            SetAssociativeCache(self.config.l2_geometry, policy="lru", name=f"L2[{c}]")
+            for c in range(cores)
+        ]
+        self.prefetchers: List[Optional[StridePrefetcher]] = [
+            StridePrefetcher() if enable_prefetch else None for _ in range(cores)
+        ]
+        self.tlbs: List[Optional[TlbHierarchy]] = [
+            TlbHierarchy() if enable_tlb else None for _ in range(cores)
+        ]
+        self.directory: Optional[CoherenceDirectory] = (
+            CoherenceDirectory(cores) if enable_coherence else None
+        )
+        self.dram = DramModel(self.config.dram)
+
+    # -- demand path -----------------------------------------------------------
+
+    def access(
+        self, core_id: int, line_addr: int, is_write: bool = False, now: Optional[float] = None
+    ) -> float:
+        """One demand access; returns the core-visible latency in cycles.
+
+        ``now`` (the issuing core's clock) enables the DRAM bandwidth
+        model; left as ``None``, memory bandwidth is unmodelled.
+        """
+        lat = self.config.latencies
+        latency = float(lat.l1_cycles)
+        tlb = self.tlbs[core_id]
+        if tlb is not None:
+            latency += tlb.translate(line_addr)
+        if self.directory is not None:
+            self._coherence_actions(core_id, line_addr, is_write, now)
+        r1 = self.l1[core_id].access(line_addr, is_write=is_write, core_id=core_id)
+        self._spill_to_l2(core_id, r1.evicted, now)
+        if self.directory is not None and r1.evicted is not None:
+            self._note_private_eviction(core_id, r1.evicted.line_addr)
+        # Train on the demand stream (as PC-indexed IPCP effectively
+        # does); issuing is cheap because already-resident targets
+        # short-circuit in _prefetch.
+        prefetcher = self.prefetchers[core_id]
+        if prefetcher is not None:
+            for target in prefetcher.observe(line_addr):
+                self._prefetch(core_id, target, now)
+        if r1.hit:
+            return latency
+
+        latency += lat.l2_cycles
+        r2 = self.l2[core_id].access(line_addr, core_id=core_id)
+        self._spill_to_llc(core_id, r2.evicted, now)
+        if self.directory is not None and r2.evicted is not None:
+            self._note_private_eviction(core_id, r2.evicted.line_addr)
+        if r2.hit:
+            return latency
+
+        r3 = self.llc.access(line_addr, core_id=core_id, sdid=core_id)
+        latency += lat.llc_cycles + r3.extra_latency
+        self._spill_to_dram(r3.evicted, now)
+        if not r3.hit:
+            latency += self.dram.access(line_addr, now=now) / self.mlp_factor
+        return latency
+
+    def _prefetch(self, core_id: int, line_addr: int, now: Optional[float] = None) -> None:
+        """Prefetch into L1/L2 (no latency charged; fills are real)."""
+        if self.l1[core_id].contains(line_addr):
+            return
+        r1 = self.l1[core_id].access(line_addr, core_id=core_id)
+        self._spill_to_l2(core_id, r1.evicted, now)
+        r2 = self.l2[core_id].access(line_addr, core_id=core_id)
+        self._spill_to_llc(core_id, r2.evicted, now)
+        if not r2.hit:
+            r3 = self.llc.access(line_addr, core_id=core_id, sdid=core_id)
+            self._spill_to_dram(r3.evicted, now)
+            if not r3.hit:
+                self.dram.access(line_addr, now=now)
+
+    # -- coherence ----------------------------------------------------------------
+
+    def _coherence_actions(self, core_id: int, line_addr: int, is_write: bool, now) -> None:
+        """Apply directory protocol actions before the private lookup.
+
+        Invalidation and downgrade both drop the remote private copies
+        (a functional simplification of downgrade-to-shared); dirty
+        copies are written back to the LLC so no data is lost.
+        """
+        directory = self.directory
+        actions = (
+            directory.on_write(core_id, line_addr)
+            if is_write
+            else directory.on_read(core_id, line_addr)
+        )
+        targets = list(actions.invalidate)
+        if actions.downgrade is not None:
+            targets.append(actions.downgrade)
+        for other in targets:
+            for level in (self.l1[other], self.l2[other]):
+                evicted = level.invalidate(line_addr)
+                if evicted is not None and evicted.dirty:
+                    self._spill_to_llc(other, evicted, now)
+            directory.on_eviction(other, line_addr)
+        if is_write:
+            # Re-register the writer (invalidate path cleared others only).
+            directory.on_write(core_id, line_addr)
+
+    def _note_private_eviction(self, core_id: int, line_addr: int) -> None:
+        """Tell the directory when a core has lost all private copies."""
+        if not self.l1[core_id].contains(line_addr) and not self.l2[core_id].contains(line_addr):
+            self.directory.on_eviction(core_id, line_addr)
+
+    # -- writeback propagation ---------------------------------------------------
+
+    def _spill_to_l2(self, core_id: int, evicted, now: Optional[float] = None) -> None:
+        if evicted is not None and evicted.dirty:
+            r = self.l2[core_id].access(
+                evicted.line_addr, core_id=core_id, is_writeback=True
+            )
+            self._spill_to_llc(core_id, r.evicted, now)
+
+    def _spill_to_llc(self, core_id: int, evicted, now: Optional[float] = None) -> None:
+        if evicted is not None and evicted.dirty:
+            r = self.llc.access(
+                evicted.line_addr, core_id=core_id, is_writeback=True, sdid=core_id
+            )
+            self._spill_to_dram(r.evicted, now)
+
+    def _spill_to_dram(self, evicted, now: Optional[float] = None) -> None:
+        if evicted is not None and evicted.dirty:
+            self.dram.access(evicted.line_addr, is_write=True, now=now)
+
+    # -- maintenance ------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Zero all statistics (after warm-up) without touching contents."""
+        for cache in self.l1 + self.l2:
+            cache.stats.reset()
+        for tlb in self.tlbs:
+            if tlb is not None:
+                tlb.reset_stats()
+        if hasattr(self.llc, "reset_stats"):
+            self.llc.reset_stats()
+        else:
+            self.llc.stats.reset()
+        self.dram.reset_stats()

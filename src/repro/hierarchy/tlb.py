@@ -1,0 +1,87 @@
+"""TLB hierarchy (Table V: L1 ITLB/DTLB 64-entry 4-way, STLB 2048/16).
+
+Address translation sits in front of every cache access: a DTLB hit
+costs one cycle, an STLB hit eight, and a full miss pays a page-table
+walk (modelled as a fixed DRAM-class latency).  The LLC designs under
+study are physically indexed, so translation latency is additive and
+identical across designs - but modelling it keeps absolute IPC in a
+realistic range and lets the library answer TLB-related questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cache.set_assoc import SetAssociativeCache
+from ..common.config import CacheGeometry
+
+
+@dataclass(frozen=True)
+class TlbConfig:
+    """Table V translation parameters (lookup latencies in cycles)."""
+
+    l1_entries: int = 64
+    l1_ways: int = 4
+    l1_latency: int = 1
+    stlb_entries: int = 2048
+    stlb_ways: int = 16
+    stlb_latency: int = 8
+    page_walk_latency: int = 120
+    page_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.l1_entries % self.l1_ways:
+            raise ValueError("L1 TLB entries must divide across ways")
+        if self.stlb_entries % self.stlb_ways:
+            raise ValueError("STLB entries must divide across ways")
+
+
+class TlbHierarchy:
+    """Two-level TLB for one core.
+
+    The entries are modelled with the generic set-associative array
+    (pages play the role of lines); replacement is LRU at both levels,
+    and the STLB is inclusive of the L1 TLB in the common way: L1
+    misses fill both levels.
+    """
+
+    def __init__(self, config: Optional[TlbConfig] = None):
+        self.config = config or TlbConfig()
+        cfg = self.config
+        self._page_shift = cfg.page_bytes.bit_length() - 1
+        self.l1 = SetAssociativeCache(
+            CacheGeometry(sets=cfg.l1_entries // cfg.l1_ways, ways=cfg.l1_ways),
+            policy="lru",
+            name="DTLB",
+        )
+        self.stlb = SetAssociativeCache(
+            CacheGeometry(sets=cfg.stlb_entries // cfg.stlb_ways, ways=cfg.stlb_ways),
+            policy="lru",
+            name="STLB",
+        )
+        self.page_walks = 0
+
+    def translate(self, line_addr: int, line_bytes: int = 64) -> int:
+        """Translate one access; returns the translation latency in cycles."""
+        cfg = self.config
+        page = (line_addr * line_bytes) >> self._page_shift
+        if self.l1.access(page).hit:
+            return cfg.l1_latency
+        if self.stlb.access(page).hit:
+            return cfg.l1_latency + cfg.stlb_latency
+        self.page_walks += 1
+        return cfg.l1_latency + cfg.stlb_latency + cfg.page_walk_latency
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1.stats.hit_rate
+
+    @property
+    def stlb_hit_rate(self) -> float:
+        return self.stlb.stats.hit_rate
+
+    def reset_stats(self) -> None:
+        self.l1.stats.reset()
+        self.stlb.stats.reset()
+        self.page_walks = 0

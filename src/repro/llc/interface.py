@@ -1,0 +1,61 @@
+"""The interface every LLC design in this library implements.
+
+The hierarchy simulator, the attack harnesses, and the experiment
+runner only touch this surface, so baseline / CEASER / Scatter-Cache /
+Mirage / Maya / partitioned designs are interchangeable.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional
+
+from ..cache.line import AccessResult, EvictedLine
+from ..cache.stats import CacheStats
+
+
+class LLCache(abc.ABC):
+    """Abstract last-level cache.
+
+    Concrete designs expose:
+
+    * :attr:`stats` - a :class:`~repro.cache.stats.CacheStats`,
+    * :attr:`extra_lookup_latency` - additional cycles per lookup
+      beyond the baseline LLC latency (0 for the baseline; 4 for the
+      randomized decoupled designs, Section III-C).
+    """
+
+    extra_lookup_latency: int = 0
+    stats: CacheStats
+
+    @abc.abstractmethod
+    def access(
+        self,
+        line_addr: int,
+        is_write: bool = False,
+        core_id: int = 0,
+        is_writeback: bool = False,
+        sdid: int = 0,
+    ) -> AccessResult:
+        """Perform one access, filling on miss."""
+
+    @abc.abstractmethod
+    def invalidate(self, line_addr: int, sdid: int = 0) -> Optional[EvictedLine]:
+        """Flush one line (clflush); returns writeback info if dirty."""
+
+    @abc.abstractmethod
+    def flush_all(self) -> int:
+        """Drop every resident line; returns how many were dropped."""
+
+    @abc.abstractmethod
+    def contains(self, line_addr: int, sdid: int = 0) -> bool:
+        """Is the line resident with data (a timing-visible hit)?"""
+
+    @property
+    @abc.abstractmethod
+    def occupancy(self) -> int:
+        """Number of valid data-holding entries."""
+
+    @abc.abstractmethod
+    def occupancy_by_core(self) -> Dict[int, int]:
+        """Data occupancy keyed by owning core (occupancy attacks)."""

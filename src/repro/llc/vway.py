@@ -1,0 +1,229 @@
+"""The V-way cache (Qureshi, Thompson & Patt, ISCA 2005).
+
+The design Mirage (and hence Maya) descends from: a conventional
+*indexed* tag store with twice as many tag entries as data entries,
+decoupled from the data store by forward/reverse pointers, with
+*global* data replacement.  Extra tags mean a set rarely lacks a free
+tag (demand-based associativity); global replacement picks victims by
+reuse, not set position.
+
+The original uses a reuse-counter (clock-like) global policy; Mirage's
+security insight was to make that global choice *random* and the index
+keyed.  Both options are available here (``replacement="reuse"`` or
+``"random"``), so the lineage V-way -> Mirage -> Maya can be compared
+directly: V-way with a public index is still attackable (eviction sets
+target tag sets), which the attack tests demonstrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..cache.line import AccessResult, EvictedLine
+from ..cache.stats import CacheStats
+from ..common.config import CacheGeometry
+from ..common.errors import ConfigurationError, SimulationError
+from ..common.rng import derive_seed, make_rng
+from ..core.data_store import DataStore
+from .interface import LLCache
+
+
+@dataclass
+class _VWayTag:
+    line_addr: int = 0
+    core_id: int = -1
+    sdid: int = 0
+    dirty: bool = False
+    reused: bool = False
+    fptr: int = -1
+
+    @property
+    def valid(self) -> bool:
+        return self.fptr >= 0
+
+
+class VWayCache(LLCache):
+    """V-way cache: indexed tags (over-provisioned), global data store.
+
+    Parameters
+    ----------
+    geometry:
+        *Data-store* geometry (sets x ways worth of lines).
+    tag_factor:
+        Tag entries per data entry (the paper uses 2).
+    replacement:
+        ``"reuse"`` - clock sweep over per-entry reuse bits (the
+        original); ``"random"`` - uniformly random (Mirage-style).
+    """
+
+    extra_lookup_latency = 1  # tag-to-data indirection only (no cipher)
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        tag_factor: int = 2,
+        replacement: str = "reuse",
+        seed: Optional[int] = None,
+    ):
+        if tag_factor < 1:
+            raise ConfigurationError("tag factor must be at least 1")
+        if replacement not in ("reuse", "random"):
+            raise ConfigurationError(f"unknown V-way replacement {replacement!r}")
+        self.geometry = geometry
+        self.tag_ways = geometry.ways * tag_factor
+        self.sets = geometry.sets
+        self.replacement = replacement
+        self._tags: List[_VWayTag] = [_VWayTag() for _ in range(self.sets * self.tag_ways)]
+        self._where: Dict[tuple, int] = {}
+        self.data = DataStore(geometry.lines, seed=derive_seed(seed, 51))
+        self._reuse_bits: List[bool] = [False] * geometry.lines
+        self._clock_hand = 0
+        self._rng = make_rng(derive_seed(seed, 52))
+        self.stats = CacheStats()
+
+    # -- indexing ------------------------------------------------------------
+
+    def set_index(self, line_addr: int) -> int:
+        """Public (unkeyed) index - the V-way cache predates hardening."""
+        return line_addr % self.sets
+
+    def _tag_base(self, set_idx: int) -> int:
+        return set_idx * self.tag_ways
+
+    # -- access path -----------------------------------------------------------
+
+    def access(
+        self,
+        line_addr: int,
+        is_write: bool = False,
+        core_id: int = 0,
+        is_writeback: bool = False,
+        sdid: int = 0,
+    ) -> AccessResult:
+        tag_idx = self._where.get((line_addr, sdid))
+        hit = tag_idx is not None
+        self.stats.record_access(hit, is_writeback, core_id)
+        if hit:
+            tag = self._tags[tag_idx]
+            if not is_writeback:
+                tag.reused = True
+            self._reuse_bits[tag.fptr] = True
+            if is_write or is_writeback:
+                tag.dirty = True
+            return AccessResult(hit=True, extra_latency=self.extra_lookup_latency)
+
+        evicted = None
+        sae = False
+        if self.data.full:
+            evicted = self._global_eviction(filler_core=core_id)
+        set_idx = self.set_index(line_addr)
+        slot = self._find_invalid_tag(set_idx)
+        if slot is None:
+            # Set-associative eviction: all (over-provisioned) tags busy.
+            sae = True
+            self.stats.saes += 1
+            victim = self._tag_base(set_idx) + self._rng.randrange(self.tag_ways)
+            evicted = self._drop_tag(victim, filler_core=core_id)
+            slot = self._find_invalid_tag(set_idx)
+        tag = self._tags[slot]
+        tag.line_addr = line_addr
+        tag.core_id = core_id
+        tag.sdid = sdid
+        tag.dirty = is_write or is_writeback
+        tag.reused = False
+        tag.fptr = self.data.allocate(slot)
+        self._reuse_bits[tag.fptr] = False
+        self._where[(line_addr, sdid)] = slot
+        self.stats.fills += 1
+        self.stats.data_fills += 1
+        return AccessResult(hit=False, evicted=evicted, sae=sae, extra_latency=self.extra_lookup_latency)
+
+    def _find_invalid_tag(self, set_idx: int) -> Optional[int]:
+        base = self._tag_base(set_idx)
+        for way in range(self.tag_ways):
+            if not self._tags[base + way].valid:
+                return base + way
+        return None
+
+    def _global_eviction(self, filler_core: int) -> EvictedLine:
+        if self.replacement == "random":
+            victim_data = self.data.random_victim()
+        else:
+            # Clock sweep: clear reuse bits until an unreused entry appears.
+            capacity = self.data.capacity
+            for _ in range(2 * capacity + 1):
+                idx = self._clock_hand
+                self._clock_hand = (self._clock_hand + 1) % capacity
+                if not self.data.entry(idx).valid:
+                    continue
+                if self._reuse_bits[idx]:
+                    self._reuse_bits[idx] = False
+                else:
+                    victim_data = idx
+                    break
+            else:  # pragma: no cover - sweep always terminates
+                raise SimulationError("clock sweep failed to find a victim")
+        return self._drop_tag(self.data.entry(victim_data).rptr, filler_core=filler_core)
+
+    def _drop_tag(self, tag_idx: int, filler_core: int) -> EvictedLine:
+        tag = self._tags[tag_idx]
+        if not tag.valid:
+            raise SimulationError("dropping an invalid V-way tag")
+        evicted = EvictedLine(
+            line_addr=tag.line_addr,
+            dirty=tag.dirty,
+            core_id=tag.core_id,
+            sdid=tag.sdid,
+            was_reused=tag.reused,
+        )
+        self.stats.record_eviction(
+            dirty=tag.dirty,
+            was_reused=tag.reused,
+            cross_core=tag.core_id >= 0 and filler_core >= 0 and tag.core_id != filler_core,
+        )
+        self.data.free(tag.fptr)
+        del self._where[(tag.line_addr, tag.sdid)]
+        tag.fptr = -1
+        tag.dirty = False
+        tag.reused = False
+        tag.core_id = -1
+        return evicted
+
+    # -- maintenance ---------------------------------------------------------
+
+    def invalidate(self, line_addr: int, sdid: int = 0) -> Optional[EvictedLine]:
+        tag_idx = self._where.get((line_addr, sdid))
+        if tag_idx is None:
+            return None
+        return self._drop_tag(tag_idx, filler_core=-1)
+
+    def flush_all(self) -> int:
+        count = 0
+        for tag_idx in list(self._where.values()):
+            self._drop_tag(tag_idx, filler_core=-1)
+            count += 1
+        return count
+
+    def contains(self, line_addr: int, sdid: int = 0) -> bool:
+        return (line_addr, sdid) in self._where
+
+    @property
+    def occupancy(self) -> int:
+        return self.data.used
+
+    def occupancy_by_core(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for tag_idx in self._where.values():
+            tag = self._tags[tag_idx]
+            counts[tag.core_id] = counts.get(tag.core_id, 0) + 1
+        return counts
+
+    def check_invariants(self) -> None:
+        expected = {}
+        for idx, tag in enumerate(self._tags):
+            if tag.valid:
+                expected[tag.fptr] = idx
+        self.data.check_invariants(expected)
+        if len(expected) != len(self._where):
+            raise SimulationError("V-way location map out of sync")

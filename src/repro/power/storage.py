@@ -1,0 +1,149 @@
+"""Exact storage arithmetic (Table VIII).
+
+Pure bit counting - these numbers are exact reproductions, not
+simulations.  The paper's parameters: a 46-bit physical address with
+64-byte lines gives a 40-bit line address; the conventionally indexed
+baseline drops its 14 set-index bits from the tag (26 tag bits), while
+the randomized designs must store the full 40-bit line address (the
+hashed index is not invertible).  Pointers are sized by
+``bits_required`` over the pointed-to structure: an 18-bit FPTR for up
+to 256K data entries and a 19-bit RPTR for up to 512K tag entries.
+
+Note: Table VIII prints Maya's total as 16994 KB, but its own rows sum
+to 4200 + 12744 = 16944 KB; we reproduce the component arithmetic (and
+the -2% headline holds either way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..common.bitops import bits_required, log2_exact
+from ..common.config import (
+    CacheGeometry,
+    MayaConfig,
+    MirageConfig,
+    PAPER_BASELINE,
+    PAPER_MAYA,
+    PAPER_MIRAGE,
+)
+
+#: Physical address width modelled by the paper.
+PHYSICAL_ADDRESS_BITS = 46
+#: MOESI coherence state bits per tag entry.
+COHERENCE_BITS = 3
+#: Security-domain ID bits (randomized designs only).
+SDID_BITS = 8
+#: Data bits per 64-byte line.
+DATA_BITS = 512
+
+
+@dataclass(frozen=True)
+class StorageBreakdown:
+    """Bit-exact storage budget for one LLC design."""
+
+    design: str
+    tag_bit_fields: Dict[str, int]
+    tag_entries: int
+    data_bits_per_entry: int
+    data_entries: int
+
+    @property
+    def tag_bits_per_entry(self) -> int:
+        return sum(self.tag_bit_fields.values())
+
+    @property
+    def tag_store_kb(self) -> float:
+        return self.tag_bits_per_entry * self.tag_entries / 8 / 1024
+
+    @property
+    def data_store_kb(self) -> float:
+        return self.data_bits_per_entry * self.data_entries / 8 / 1024
+
+    @property
+    def total_kb(self) -> float:
+        return self.tag_store_kb + self.data_store_kb
+
+    def overhead_vs(self, baseline: "StorageBreakdown") -> float:
+        """Fractional storage overhead vs a baseline (negative = savings)."""
+        return self.total_kb / baseline.total_kb - 1.0
+
+
+def line_address_bits(line_bytes: int = 64) -> int:
+    """Line-address width for the modelled physical address."""
+    return PHYSICAL_ADDRESS_BITS - log2_exact(line_bytes)
+
+
+def baseline_storage(geometry: Optional[CacheGeometry] = None) -> StorageBreakdown:
+    """Conventional set-associative LLC storage (Table VIII 'Baseline')."""
+    geometry = geometry or PAPER_BASELINE
+    tag_bits = line_address_bits(geometry.line_bytes) - log2_exact(geometry.sets)
+    return StorageBreakdown(
+        design="Baseline",
+        tag_bit_fields={"tag": tag_bits, "coherence": COHERENCE_BITS},
+        tag_entries=geometry.lines,
+        data_bits_per_entry=DATA_BITS,
+        data_entries=geometry.lines,
+    )
+
+
+def mirage_storage(config: Optional[MirageConfig] = None) -> StorageBreakdown:
+    """Mirage storage (Table VIII 'Mirage')."""
+    config = config or PAPER_MIRAGE
+    fptr = bits_required(config.data_entries)
+    rptr = bits_required(config.tag_entries)
+    return StorageBreakdown(
+        design="Mirage",
+        tag_bit_fields={
+            "tag": line_address_bits(config.line_bytes),
+            "coherence": COHERENCE_BITS,
+            "fptr": fptr,
+            "sdid": SDID_BITS,
+        },
+        tag_entries=config.tag_entries,
+        data_bits_per_entry=DATA_BITS + rptr,
+        data_entries=config.data_entries,
+    )
+
+
+def maya_storage(config: Optional[MayaConfig] = None) -> StorageBreakdown:
+    """Maya storage (Table VIII 'Maya'); adds the priority bit."""
+    config = config or PAPER_MAYA
+    fptr = bits_required(config.data_entries)
+    rptr = bits_required(config.tag_entries)
+    return StorageBreakdown(
+        design="Maya",
+        tag_bit_fields={
+            "tag": line_address_bits(config.line_bytes),
+            "coherence": COHERENCE_BITS,
+            "priority": 1,
+            "fptr": fptr,
+            "sdid": config.sdid_bits,
+        },
+        tag_entries=config.tag_entries,
+        data_bits_per_entry=DATA_BITS + rptr,
+        data_entries=config.data_entries,
+    )
+
+
+def maya_iso_area_storage() -> StorageBreakdown:
+    """The Maya-ISO variant (baseline-sized data store; Tables IX-X)."""
+    iso = MayaConfig(base_ways_per_skew=8, reuse_ways_per_skew=3, invalid_ways_per_skew=6)
+    breakdown = maya_storage(iso)
+    return StorageBreakdown(
+        design="Maya ISO",
+        tag_bit_fields=breakdown.tag_bit_fields,
+        tag_entries=breakdown.tag_entries,
+        data_bits_per_entry=breakdown.data_bits_per_entry,
+        data_entries=breakdown.data_entries,
+    )
+
+
+def table_viii() -> Dict[str, StorageBreakdown]:
+    """All of Table VIII's columns at the paper's full scale."""
+    return {
+        "Baseline": baseline_storage(),
+        "Mirage": mirage_storage(),
+        "Maya": maya_storage(),
+    }

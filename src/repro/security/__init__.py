@@ -1,0 +1,48 @@
+"""Security analysis: bucket-and-balls model, analytical Markov model,
+victim models, and attack harnesses."""
+
+from .analytical import (
+    PAPER_SEED_PR0,
+    SecurityEstimate,
+    analyze,
+    associativity_sweep,
+    occupancy_distribution,
+    reuse_ways_sweep,
+)
+from .buckets import BucketAndBallsModel, BucketModelConfig, BucketModelResult
+from .buckets_fast import FastBucketAndBallsModel
+from .channel import LeakagePoint, leakage_curve, mutual_information_binary
+from .victims import (
+    AESKey,
+    AESVictim,
+    ModExpVictim,
+    RSAKey,
+    WebsiteVictim,
+    aes_key_pair,
+    modexp_key_pair,
+    website_catalog,
+)
+
+__all__ = [
+    "PAPER_SEED_PR0",
+    "AESKey",
+    "AESVictim",
+    "BucketAndBallsModel",
+    "BucketModelConfig",
+    "BucketModelResult",
+    "FastBucketAndBallsModel",
+    "LeakagePoint",
+    "ModExpVictim",
+    "RSAKey",
+    "WebsiteVictim",
+    "SecurityEstimate",
+    "aes_key_pair",
+    "analyze",
+    "associativity_sweep",
+    "leakage_curve",
+    "modexp_key_pair",
+    "mutual_information_binary",
+    "occupancy_distribution",
+    "website_catalog",
+    "reuse_ways_sweep",
+]

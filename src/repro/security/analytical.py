@@ -1,0 +1,222 @@
+"""Analytical Birth-Death model of bucket occupancy (Section IV-B).
+
+The number of balls in a bucket forms a Birth-Death Markov chain: a
+*birth* is a load-aware ball throw landing in the bucket, a *death* is
+a global random tag eviction removing one of its priority-0 balls.  In
+steady state the net rate between adjacent states is zero (Eq. 1),
+
+    Pr(N -> N+1) = Pr(N+1 -> N),
+
+with the birth probability (Eq. 2; both skew candidates at N, or one
+at N and the other above)
+
+    Pr(N -> N+1) = Pr(n=N)^2 + 2 Pr(n=N) Pr(n>N),
+
+and the death probability (Eq. 4, generalized): with R reuse ways and
+B base ways per skew, priority-0 balls are an R/(B+R) fraction of all
+balls and there is one bucket per R priority-0 balls, so
+
+    Pr(N+1 -> N) = (N+1) Pr(n=N+1) / (B+R).
+
+Equating gives the forward recursion (paper Eq. 5 with A = B+R = 9):
+
+    Pr(n=N+1) = A/(N+1) * (Pr(n=N)^2 + 2 Pr(n=N) Pr(n>N)).
+
+``Pr(n>N)`` is ``1 - cumulative``, so the whole distribution follows
+from ``Pr(n=0)``.  The paper seeds with the measured value
+(7.7e-7 for the default config); we support that *and* a seed-free
+mode that bisects on ``Pr(n=0)`` until the distribution normalizes to
+1 - the two agree, which the tests check.
+
+The spill (SAE) probability for a tag store with W ways per skew is
+``Pr(n=W+1)`` - the chance a fill finds both candidate buckets at
+capacity in the unbounded chain - and the security guarantee is its
+reciprocal in line installs (Tables I and IV).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..common.errors import ConfigurationError
+
+#: The paper's measured seed for the default Maya config (Section IV-B).
+PAPER_SEED_PR0 = 7.7e-7
+
+#: Optimistic fill latency used to convert installs to wall-clock time.
+FILL_NANOSECONDS = 1.0
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+def occupancy_distribution(
+    average_load: float,
+    seed_pr0: Optional[float] = None,
+    max_n: int = 64,
+) -> List[float]:
+    """Stationary ``Pr(n = N)`` for ``N in [0, max_n]``.
+
+    ``average_load`` is A = base + reuse ways per skew (balls per
+    bucket).  With ``seed_pr0`` given, runs the paper's forward
+    recursion from that seed; otherwise bisects on the seed until the
+    distribution sums to 1 (seed-free mode).
+    """
+    if average_load <= 0:
+        raise ConfigurationError("average load must be positive")
+    if seed_pr0 is not None:
+        return _forward(average_load, seed_pr0, max_n)
+
+    lo, hi = 1e-30, 1.0
+    for _ in range(200):
+        mid = math.sqrt(lo * hi)  # geometric bisection: seed spans decades
+        total = sum(_forward(average_load, mid, max_n))
+        if total > 1.0:
+            hi = mid
+        else:
+            lo = mid
+    return _forward(average_load, math.sqrt(lo * hi), max_n)
+
+
+def _forward(average_load: float, seed_pr0: float, max_n: int) -> List[float]:
+    """Paper Eq. 5 (exact), switching to Eq. 6 in the tail.
+
+    Eq. 6 drops the ``Pr(n > N)`` term, which is only valid *past the
+    distribution's mode* (the paper applies it for N >= 13); before the
+    mode that term carries nearly all the probability mass.
+    """
+    probs = [min(1.0, seed_pr0)]
+    cumulative = probs[0]
+    for n in range(max_n):
+        p = probs[-1]
+        tail = max(0.0, 1.0 - cumulative)
+        in_tail = n + 1 > average_load and p < 0.01
+        if in_tail:
+            # Eq. 6: Pr(n > N) << Pr(n = N) beyond the mode.
+            nxt = average_load / (n + 1) * p * p
+        else:
+            nxt = average_load / (n + 1) * (p * p + 2.0 * p * tail)
+        nxt = min(nxt, 1.0)
+        probs.append(nxt)
+        cumulative += nxt
+    return probs
+
+
+@dataclass(frozen=True)
+class SecurityEstimate:
+    """Security guarantee of one tag-store configuration."""
+
+    base_ways_per_skew: int
+    reuse_ways_per_skew: int
+    invalid_ways_per_skew: int
+    spill_probability: float
+
+    @property
+    def ways_per_skew(self) -> int:
+        return self.base_ways_per_skew + self.reuse_ways_per_skew + self.invalid_ways_per_skew
+
+    @property
+    def installs_per_sae(self) -> float:
+        """Expected line installs per set-associative eviction."""
+        if self.spill_probability <= 0.0:
+            return math.inf
+        return 1.0 / self.spill_probability
+
+    @property
+    def years_per_sae(self) -> float:
+        """Wall-clock guarantee at one (optimistic) fill per nanosecond."""
+        return self.installs_per_sae * FILL_NANOSECONDS * 1e-9 / SECONDS_PER_YEAR
+
+    def describe(self) -> str:
+        installs = self.installs_per_sae
+        years = self.years_per_sae
+        if math.isinf(installs):
+            return "no SAE ever (spill probability underflowed)"
+        return f"one SAE per {installs:.1e} installs (~{years:.1e} years)"
+
+
+def analyze(
+    base_ways_per_skew: int,
+    reuse_ways_per_skew: int,
+    invalid_ways_per_skew: int,
+    seed_pr0: Optional[float] = None,
+) -> SecurityEstimate:
+    """Security estimate for a Maya tag store configuration.
+
+    ``seed_pr0`` seeds the recursion with a measured ``Pr(n=0)``
+    (e.g. from :class:`~repro.security.buckets.BucketAndBallsModel`);
+    ``None`` uses the seed-free normalized mode.
+    """
+    if base_ways_per_skew <= 0 or reuse_ways_per_skew <= 0:
+        raise ConfigurationError("need positive base and reuse ways")
+    if invalid_ways_per_skew < 0:
+        raise ConfigurationError("invalid ways cannot be negative")
+    average_load = base_ways_per_skew + reuse_ways_per_skew
+    ways = average_load + invalid_ways_per_skew
+    probs = occupancy_distribution(average_load, seed_pr0, max_n=max(ways + 2, 24))
+    return SecurityEstimate(
+        base_ways_per_skew=base_ways_per_skew,
+        reuse_ways_per_skew=reuse_ways_per_skew,
+        invalid_ways_per_skew=invalid_ways_per_skew,
+        spill_probability=probs[ways + 1],
+    )
+
+
+def analyze_mirage(
+    base_ways_per_skew: int = 8,
+    extra_ways_per_skew: int = 6,
+    seed_pr0: Optional[float] = None,
+) -> SecurityEstimate:
+    """Security estimate for a Mirage-style tag store.
+
+    Mirage has no reuse ways: every valid ball is removable by global
+    eviction, so the Birth-Death chain has the same form with
+    ``A = base_ways_per_skew`` (one bucket per ``A`` balls, removal
+    uniform over all balls).  The estimate is reported through
+    :class:`SecurityEstimate` with ``reuse_ways_per_skew = 0`` folded
+    into the base count.
+    """
+    if base_ways_per_skew <= 1:
+        raise ConfigurationError("Mirage needs at least two base ways per skew")
+    average_load = base_ways_per_skew
+    ways = average_load + extra_ways_per_skew
+    probs = occupancy_distribution(average_load, seed_pr0, max_n=max(ways + 2, 24))
+    return SecurityEstimate(
+        base_ways_per_skew=base_ways_per_skew,
+        reuse_ways_per_skew=0,
+        invalid_ways_per_skew=extra_ways_per_skew,
+        spill_probability=probs[ways + 1],
+    )
+
+
+def reuse_ways_sweep(
+    invalid_options=(5, 6),
+    reuse_options=(1, 3, 5, 7),
+    base_ways_per_skew: int = 6,
+) -> Dict[int, Dict[int, SecurityEstimate]]:
+    """Table I: installs/SAE over reuse ways x invalid ways."""
+    return {
+        invalid: {
+            reuse: analyze(base_ways_per_skew, reuse, invalid) for reuse in reuse_options
+        }
+        for invalid in invalid_options
+    }
+
+
+def associativity_sweep(
+    invalid_options=(4, 5, 6),
+    associativities=((3, 1), (6, 3), (12, 6)),
+) -> Dict[int, Dict[int, SecurityEstimate]]:
+    """Table IV: installs/SAE over base associativity x invalid ways.
+
+    ``associativities`` are (base, reuse) pairs per skew: 8-way (3+1),
+    18-way (6+3), 36-way (12+6) total across two skews.
+    """
+    return {
+        invalid: {
+            2 * (base + reuse): analyze(base, reuse, invalid)
+            for base, reuse in associativities
+        }
+        for invalid in invalid_options
+    }

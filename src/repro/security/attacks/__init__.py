@@ -1,0 +1,32 @@
+"""Attack harnesses: eviction sets, occupancy, and Flush+Reload."""
+
+from .eviction import (
+    EvictionSetResult,
+    TargetingResult,
+    construct_eviction_set,
+    targeting_advantage,
+)
+from .fingerprint import FingerprintResult, fingerprint_accuracy, occupancy_trace
+from .flush import FlushReloadResult, flush_reload_accuracy
+from .occupancy import (
+    OccupancyAttacker,
+    OccupancyAttackResult,
+    operations_to_distinguish,
+    welch_t,
+)
+
+__all__ = [
+    "EvictionSetResult",
+    "FingerprintResult",
+    "FlushReloadResult",
+    "OccupancyAttackResult",
+    "OccupancyAttacker",
+    "TargetingResult",
+    "construct_eviction_set",
+    "fingerprint_accuracy",
+    "flush_reload_accuracy",
+    "occupancy_trace",
+    "operations_to_distinguish",
+    "targeting_advantage",
+    "welch_t",
+]

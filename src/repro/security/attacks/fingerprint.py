@@ -1,0 +1,98 @@
+"""Website fingerprinting through the cache-occupancy channel [32].
+
+The attack the paper cites to show that *no* shared cache - not even a
+fully associative one, not even Maya - hides occupancy: the attacker
+repeatedly probes how much of its priming footprint survives while a
+victim "website" loads, producing an occupancy time series; a
+nearest-centroid classifier over such traces identifies the site.
+
+This harness exists to validate the paper's non-claim: Maya mitigates
+*conflict* attacks, and the fingerprinting accuracy should stay
+roughly as high on Maya as on any other design.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ...common.rng import derive_seed, make_rng
+from ...llc.interface import LLCache
+from ..victims import WebsiteVictim
+from .occupancy import VICTIM_SDID, OccupancyAttacker
+
+
+def occupancy_trace(
+    llc: LLCache,
+    attacker: OccupancyAttacker,
+    website: WebsiteVictim,
+) -> List[int]:
+    """One load's occupancy time series (one probe per window)."""
+    attacker.prime()
+    trace: List[int] = []
+    for window in range(website.total_windows):
+        for line in website.phase_accesses(window):
+            llc.access(line, core_id=1, sdid=VICTIM_SDID)
+        trace.append(attacker.probe())
+    return trace
+
+
+def _distance(a: Sequence[float], b: Sequence[float]) -> float:
+    length = min(len(a), len(b))
+    return math.sqrt(sum((a[i] - b[i]) ** 2 for i in range(length)))
+
+
+@dataclass
+class FingerprintResult:
+    trials: int
+    correct: int
+    per_site: Dict[str, int]
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.trials if self.trials else 0.0
+
+
+def fingerprint_accuracy(
+    llc_factory: Callable[[], LLCache],
+    websites: Dict[str, WebsiteVictim],
+    attacker_lines: int,
+    training_loads: int = 3,
+    test_loads: int = 4,
+    seed: int = 0,
+) -> FingerprintResult:
+    """Train centroids per site, then classify fresh loads.
+
+    A fresh cache per load keeps trials independent (the attacker can
+    always wait out or flush residual state between page visits).
+    """
+    rng = make_rng(derive_seed(seed, 99))
+    centroids: Dict[str, List[float]] = {}
+    for name, site in websites.items():
+        traces = []
+        for t in range(training_loads):
+            llc = llc_factory()
+            attacker = OccupancyAttacker(llc, attacker_lines, seed=derive_seed(seed, t))
+            traces.append(occupancy_trace(llc, attacker, site))
+        length = min(len(tr) for tr in traces)
+        centroids[name] = [
+            sum(tr[i] for tr in traces) / len(traces) for i in range(length)
+        ]
+
+    trials = 0
+    correct = 0
+    per_site: Dict[str, int] = {name: 0 for name in websites}
+    for name, site in websites.items():
+        for t in range(test_loads):
+            llc = llc_factory()
+            attacker = OccupancyAttacker(
+                llc, attacker_lines, seed=derive_seed(seed, 1000 + trials)
+            )
+            trace = occupancy_trace(llc, attacker, site)
+            guess = min(centroids, key=lambda c: _distance(trace, centroids[c]))
+            trials += 1
+            if guess == name:
+                correct += 1
+                per_site[name] += 1
+    return FingerprintResult(trials=trials, correct=correct, per_site=per_site)

@@ -1,0 +1,119 @@
+"""Contention analysis of skewed randomized caches (Section II-B).
+
+CEASER-S and Scatter-Cache randomize and skew the index but still
+evict *within the looked-up set*: every fill conflict is a usable
+signal, so an attacker can accumulate partially congruent addresses
+and build probabilistic eviction sets.  Song et al. [34] quantify the
+consequence: to stay safe, CEASER-S must remap about every 14 LLC
+evictions and Scatter-Cache about every 39 - rates so high they are
+impractical, which is the opening for Mirage/Maya's global-eviction
+approach (no per-set conflicts at all).
+
+Two tools:
+
+* :func:`partial_congruence_probability` - probability a random
+  address collides with a victim in at least one skew (the rate at
+  which an attacker harvests eviction-set candidates).
+* :class:`EvictionRateAttack` - a simulation that measures how many
+  LLC evictions an attacker needs to evict a victim line with
+  probability >= 1/2 using harvested partially-congruent addresses,
+  on any design exposing ``mapped_sets`` (CEASER-S/Scatter) - and
+  demonstrates there is nothing to harvest on Maya.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..common.rng import derive_seed, make_rng
+from ..llc.skewed import SkewedRandomizedCache
+
+VICTIM_SDID = 1
+ATTACKER_SDID = 0
+
+
+def partial_congruence_probability(skews: int, sets_per_skew: int) -> float:
+    """P(random address collides with the victim in >= 1 skew).
+
+    >>> round(partial_congruence_probability(2, 1024), 6)
+    0.001953
+    """
+    if skews < 1 or sets_per_skew < 1:
+        raise ValueError("need positive skews and sets")
+    miss_all = (1.0 - 1.0 / sets_per_skew) ** skews
+    return 1.0 - miss_all
+
+
+def expected_candidates_per_fill(skews: int, sets_per_skew: int, pool: int) -> float:
+    """Expected partially-congruent addresses found per ``pool`` probes."""
+    return pool * partial_congruence_probability(skews, sets_per_skew)
+
+
+@dataclass
+class EvictionRateResult:
+    """Outcome of the eviction-rate measurement."""
+
+    harvested_candidates: int
+    harvest_probes: int
+    evictions_to_beat_victim: Optional[int]
+
+    @property
+    def attack_feasible(self) -> bool:
+        return self.evictions_to_beat_victim is not None
+
+
+class EvictionRateAttack:
+    """Harvest partial-congruence candidates, then flood them.
+
+    The harvest phase uses the design's *own* mapping (modelling an
+    attacker that has recovered partial set information through timing,
+    the step [34] shows is practical); the attack phase counts how many
+    LLC evictions occur before the victim line is gone.
+    """
+
+    def __init__(self, llc: SkewedRandomizedCache, seed: Optional[int] = None):
+        if not hasattr(llc, "mapped_sets"):
+            raise TypeError("EvictionRateAttack needs a design exposing mapped_sets")
+        self.llc = llc
+        self._rng = make_rng(derive_seed(seed, 0xCA5A))
+
+    def harvest(self, victim: int, pool: int) -> List[int]:
+        """Addresses sharing at least one skew-set with the victim."""
+        victim_sets = self.llc.mapped_sets(victim, VICTIM_SDID)
+        found: List[int] = []
+        base = 0x5000_0000
+        for i in range(pool):
+            candidate = base + i
+            candidate_sets = self.llc.mapped_sets(candidate, ATTACKER_SDID)
+            if any(cs == vs for cs, vs in zip(candidate_sets, victim_sets)):
+                found.append(candidate)
+        return found
+
+    def evictions_needed(
+        self, victim: int, candidates: List[int], max_evictions: int = 20_000
+    ) -> Optional[int]:
+        """LLC evictions until the victim is evicted (None = survived)."""
+        llc = self.llc
+        llc.flush_all()
+        llc.access(victim, core_id=1, sdid=VICTIM_SDID)
+        evictions = 0
+        while evictions < max_evictions:
+            for candidate in candidates:
+                result = llc.access(candidate, core_id=0, sdid=ATTACKER_SDID)
+                if result.evicted is not None:
+                    evictions += 1
+                if not llc.contains(victim, sdid=VICTIM_SDID):
+                    return evictions
+            if not candidates:
+                return None
+        return None
+
+    def run(self, victim: int = 0x7FF_0000, pool: int = 50_000) -> EvictionRateResult:
+        candidates = self.harvest(victim, pool)
+        needed = self.evictions_needed(victim, candidates)
+        return EvictionRateResult(
+            harvested_candidates=len(candidates),
+            harvest_probes=pool,
+            evictions_to_beat_victim=needed,
+        )

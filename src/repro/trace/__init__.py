@@ -1,0 +1,32 @@
+"""Trace substrate: access records, synthetic generators, workload mixes."""
+
+from .io import materialize, read_trace, write_trace
+from .mixes import HETEROGENEOUS_MIXES, Mix, homogeneous, mixes_in_bin
+from .record import MemoryAccess, rebase, take
+from .workloads import (
+    GAP_MEMORY_INTENSIVE,
+    LLC_FITTING,
+    SPEC_MEMORY_INTENSIVE,
+    WORKLOADS,
+    WorkloadSpec,
+    get_workload,
+)
+
+__all__ = [
+    "GAP_MEMORY_INTENSIVE",
+    "HETEROGENEOUS_MIXES",
+    "LLC_FITTING",
+    "SPEC_MEMORY_INTENSIVE",
+    "WORKLOADS",
+    "MemoryAccess",
+    "Mix",
+    "WorkloadSpec",
+    "get_workload",
+    "homogeneous",
+    "materialize",
+    "mixes_in_bin",
+    "read_trace",
+    "rebase",
+    "take",
+    "write_trace",
+]

@@ -1,0 +1,89 @@
+"""Binary trace files.
+
+A compact on-disk format so downstream users can feed their own traces
+(e.g. converted from ChampSim or Pin output) into the simulators, and
+so expensive synthetic traces can be materialized once and replayed:
+
+* header: magic ``b"MAYATRC1"`` then a little-endian uint64 record count
+  (0 means "unknown / stream until EOF"),
+* records: 10 bytes each - uint64 line address, uint8 flags (bit 0 =
+  write), uint8 instruction gap.
+
+Files ending in ``.gz`` are transparently gzip-compressed.
+"""
+
+from __future__ import annotations
+
+import gzip
+import pathlib
+import struct
+from typing import Iterable, Iterator, Union
+
+from ..common.errors import TraceError
+from .record import MemoryAccess
+
+MAGIC = b"MAYATRC1"
+_RECORD = struct.Struct("<QBB")
+_COUNT = struct.Struct("<Q")
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _open(path: PathLike, mode: str):
+    path = pathlib.Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode)
+    return open(path, mode)
+
+
+def write_trace(path: PathLike, accesses: Iterable[MemoryAccess]) -> int:
+    """Write a trace file; returns the number of records written.
+
+    Streams in one pass: the header's record count is back-patched for
+    plain files and left as 0 (stream-until-EOF) for gzip files, which
+    cannot seek.
+    """
+    path = pathlib.Path(path)
+    count = 0
+    with _open(path, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(_COUNT.pack(0))
+        for access in accesses:
+            if access.line_addr < 0 or access.line_addr >= (1 << 64):
+                raise TraceError(f"address out of range: {access.line_addr:#x}")
+            gap = min(255, max(0, access.gap))
+            fh.write(_RECORD.pack(access.line_addr, int(access.is_write), gap))
+            count += 1
+    if path.suffix != ".gz":
+        with open(path, "r+b") as fh:
+            fh.seek(len(MAGIC))
+            fh.write(_COUNT.pack(count))
+    return count
+
+
+def read_trace(path: PathLike) -> Iterator[MemoryAccess]:
+    """Lazily read a trace file written by :func:`write_trace`."""
+    with _open(path, "rb") as fh:
+        magic = fh.read(len(MAGIC))
+        if magic != MAGIC:
+            raise TraceError(f"{path}: not a Maya trace file (bad magic {magic!r})")
+        declared = _COUNT.unpack(fh.read(_COUNT.size))[0]
+        seen = 0
+        while True:
+            blob = fh.read(_RECORD.size)
+            if not blob:
+                break
+            if len(blob) != _RECORD.size:
+                raise TraceError(f"{path}: truncated record at #{seen}")
+            addr, flags, gap = _RECORD.unpack(blob)
+            yield MemoryAccess(addr, bool(flags & 1), gap)
+            seen += 1
+        if declared and seen != declared:
+            raise TraceError(f"{path}: header declares {declared} records, found {seen}")
+
+
+def materialize(accesses: Iterable[MemoryAccess], count: int, path: PathLike) -> int:
+    """Take ``count`` records from an (infinite) generator into a file."""
+    import itertools
+
+    return write_trace(path, itertools.islice(accesses, count))

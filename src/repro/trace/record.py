@@ -1,0 +1,60 @@
+"""Memory-access records.
+
+A trace is any iterable of :class:`MemoryAccess`.  The synthetic
+generators in :mod:`repro.trace.synthetic` produce them lazily; the
+hierarchy simulator consumes them.  Addresses are *line* addresses
+(the 64-byte block offset is already stripped).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+
+class MemoryAccess:
+    """One memory instruction's cache access.
+
+    ``gap`` is the number of non-memory instructions retired since the
+    previous access; the core timing model charges ``gap * base_cpi``
+    cycles of compute between accesses.
+    """
+
+    __slots__ = ("line_addr", "is_write", "gap")
+
+    def __init__(self, line_addr: int, is_write: bool = False, gap: int = 3):
+        self.line_addr = line_addr
+        self.is_write = is_write
+        self.gap = gap
+
+    def __repr__(self) -> str:
+        kind = "W" if self.is_write else "R"
+        return f"MemoryAccess({kind} {self.line_addr:#x}, gap={self.gap})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, MemoryAccess)
+            and self.line_addr == other.line_addr
+            and self.is_write == other.is_write
+            and self.gap == other.gap
+        )
+
+
+def rebase(trace: Iterable[MemoryAccess], offset_lines: int) -> Iterator[MemoryAccess]:
+    """Shift every address by ``offset_lines`` (per-core private spaces).
+
+    Homogeneous "rate-mode" mixes run one copy of a benchmark per core;
+    rebasing keeps the copies' working sets disjoint, exactly like
+    distinct physical address spaces would.
+    """
+    for access in trace:
+        yield MemoryAccess(access.line_addr + offset_lines, access.is_write, access.gap)
+
+
+def take(trace: Iterable[MemoryAccess], count: int) -> List[MemoryAccess]:
+    """Materialize the first ``count`` accesses of a trace."""
+    out: List[MemoryAccess] = []
+    for access in trace:
+        out.append(access)
+        if len(out) >= count:
+            break
+    return out

@@ -1,0 +1,34 @@
+"""Shared fixtures: small, fast configurations for unit tests."""
+
+import pytest
+
+from repro.common.config import CacheGeometry, MayaConfig, MirageConfig, SystemConfig
+
+
+@pytest.fixture
+def tiny_geometry() -> CacheGeometry:
+    """A 64-line cache: 8 sets x 8 ways."""
+    return CacheGeometry(sets=8, ways=8)
+
+
+@pytest.fixture
+def small_maya() -> MayaConfig:
+    """Maya at 16 sets/skew with the paper's way structure (fast hash)."""
+    return MayaConfig(sets_per_skew=16, rng_seed=7, hash_algorithm="splitmix")
+
+
+@pytest.fixture
+def small_mirage() -> MirageConfig:
+    """Mirage at 16 sets/skew with the paper's way structure (fast hash)."""
+    return MirageConfig(sets_per_skew=16, rng_seed=7, hash_algorithm="splitmix")
+
+
+@pytest.fixture
+def tiny_system() -> SystemConfig:
+    """A 2-core system small enough for sub-second trace runs."""
+    return SystemConfig(
+        cores=2,
+        l1d_geometry=CacheGeometry(sets=4, ways=4),
+        l2_geometry=CacheGeometry(sets=16, ways=8),
+        llc_geometry=CacheGeometry(sets=64, ways=16),
+    )

@@ -1,0 +1,60 @@
+"""The batched bucket-and-balls engine matches the reference."""
+
+import pytest
+
+from repro.security.buckets import BucketAndBallsModel, BucketModelConfig
+from repro.security.buckets_fast import FastBucketAndBallsModel
+
+
+def configs(cap, **kw):
+    return BucketModelConfig(buckets_per_skew=256, bucket_capacity=cap, seed=3, **kw)
+
+
+class TestFastEngine:
+    def test_conservation_and_invariants(self):
+        model = FastBucketAndBallsModel(configs(11))
+        model.run(5000)
+        model.check_invariants()
+
+    def test_unbounded_invariants(self):
+        model = FastBucketAndBallsModel(configs(None))
+        model.run(5000)
+        model.check_invariants()
+
+    def test_spill_rate_matches_reference(self):
+        iterations = 60_000
+        ref = BucketAndBallsModel(configs(11)).run(iterations, sample_every=64)
+        fast = FastBucketAndBallsModel(configs(11)).run(iterations, sample_every=64)
+        assert ref.spills > 100 and fast.spills > 100
+        ratio = fast.spills / ref.spills
+        assert 0.7 < ratio < 1.4, ratio
+
+    def test_occupancy_distribution_matches_reference(self):
+        iterations = 30_000
+        ref = BucketAndBallsModel(configs(None)).run(iterations, sample_every=16)
+        fast = FastBucketAndBallsModel(configs(None)).run(iterations, sample_every=16)
+        for n, p_ref in ref.occupancy_probability.items():
+            if p_ref > 0.02:
+                p_fast = fast.occupancy_probability.get(n, 0.0)
+                assert p_fast == pytest.approx(p_ref, rel=0.15), n
+
+    def test_random_skew_policy_spills_more(self):
+        fast_la = FastBucketAndBallsModel(configs(12)).run(30_000, sample_every=256)
+        fast_rnd = FastBucketAndBallsModel(
+            configs(12, skew_policy="random")
+        ).run(30_000, sample_every=256)
+        assert fast_rnd.spills > fast_la.spills
+
+    def test_throw_accounting(self):
+        model = FastBucketAndBallsModel(configs(11))
+        result = model.run(1000)
+        assert result.iterations == 1000
+        assert result.throws == 2000
+
+    def test_falls_back_for_other_skew_counts(self):
+        cfg = BucketModelConfig(
+            skews=4, buckets_per_skew=64, bucket_capacity=12, seed=1
+        )
+        model = FastBucketAndBallsModel(cfg)
+        model.run(500)
+        model.check_invariants()

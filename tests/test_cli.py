@@ -1,0 +1,25 @@
+"""The repro-experiments command-line interface."""
+
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table8" in out and "fig9" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["dhrystone"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_exact_experiment_runs(self, capsys):
+        assert main(["table8"]) == 0
+        out = capsys.readouterr().out
+        assert "17312" in out  # baseline total KB
+
+    def test_analytical_experiment_runs(self, capsys):
+        assert main(["table1"]) == 0
+        assert "invalid" in capsys.readouterr().out

@@ -1,0 +1,107 @@
+"""The MOESI coherence directory and its hierarchy integration."""
+
+import pytest
+
+from repro.common.config import CacheGeometry, SystemConfig
+from repro.hierarchy import CacheHierarchy
+from repro.hierarchy.directory import CoherenceDirectory
+from repro.llc import BaselineLLC
+
+
+class TestDirectoryProtocol:
+    def test_read_adds_sharer(self):
+        directory = CoherenceDirectory(4)
+        actions = directory.on_read(0, 0x100)
+        assert actions.downgrade is None and not actions.invalidate
+        assert directory.sharers_of(0x100) == {0}
+
+    def test_write_invalidates_other_sharers(self):
+        directory = CoherenceDirectory(4)
+        directory.on_read(0, 0x100)
+        directory.on_read(1, 0x100)
+        actions = directory.on_write(2, 0x100)
+        assert set(actions.invalidate) == {0, 1}
+        assert directory.owner_of(0x100) == 2
+        assert directory.sharers_of(0x100) == {2}
+        directory.check_invariants()
+
+    def test_read_downgrades_modified_owner(self):
+        directory = CoherenceDirectory(4)
+        directory.on_write(0, 0x100)
+        actions = directory.on_read(1, 0x100)
+        assert actions.downgrade == 0
+        assert directory.owner_of(0x100) is None
+        assert directory.sharers_of(0x100) == {0, 1}
+        directory.check_invariants()
+
+    def test_own_read_does_not_downgrade_self(self):
+        directory = CoherenceDirectory(2)
+        directory.on_write(0, 0x100)
+        actions = directory.on_read(0, 0x100)
+        assert actions.downgrade is None
+        assert directory.owner_of(0x100) == 0
+
+    def test_eviction_clears_state(self):
+        directory = CoherenceDirectory(2)
+        directory.on_write(0, 0x100)
+        directory.on_eviction(0, 0x100)
+        assert directory.sharers_of(0x100) == set()
+        assert directory.owner_of(0x100) is None
+        directory.check_invariants()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoherenceDirectory(0)
+
+
+class TestHierarchyCoherence:
+    def make(self):
+        system = SystemConfig(
+            cores=2,
+            l1d_geometry=CacheGeometry(sets=4, ways=4),
+            l2_geometry=CacheGeometry(sets=16, ways=8),
+            llc_geometry=CacheGeometry(sets=64, ways=16),
+        )
+        llc = BaselineLLC(system.llc_geometry)
+        return llc, CacheHierarchy(llc, system, enable_prefetch=False, enable_coherence=True)
+
+    def test_write_invalidates_remote_copy(self):
+        llc, hier = self.make()
+        hier.access(0, 0x100)            # core 0 caches the line
+        hier.access(1, 0x100, is_write=True)  # core 1 writes it
+        assert not hier.l1[0].contains(0x100)
+        assert not hier.l2[0].contains(0x100)
+        assert hier.directory.invalidations_sent >= 1
+        hier.directory.check_invariants()
+
+    def test_dirty_remote_copy_reaches_llc_on_invalidate(self):
+        llc, hier = self.make()
+        hier.access(0, 0x200, is_write=True)   # core 0 dirties it in L1
+        hier.access(1, 0x200, is_write=True)   # core 1 takes ownership
+        # Core 0's dirty data must have been pushed down, not dropped.
+        assert llc.contains(0x200)
+
+    def test_read_downgrades_writer(self):
+        llc, hier = self.make()
+        hier.access(0, 0x300, is_write=True)
+        hier.access(1, 0x300)
+        assert hier.directory.downgrades_sent >= 1
+        assert llc.contains(0x300)  # the dirty copy was written back
+
+    def test_disjoint_spaces_never_fire_directory(self):
+        llc, hier = self.make()
+        for addr in range(100):
+            hier.access(0, addr)
+            hier.access(1, 0x1_0000 + addr)
+        assert hier.directory.invalidations_sent == 0
+        assert hier.directory.downgrades_sent == 0
+
+    def test_coherence_off_by_default(self):
+        system = SystemConfig(
+            cores=2,
+            l1d_geometry=CacheGeometry(sets=4, ways=4),
+            l2_geometry=CacheGeometry(sets=16, ways=8),
+            llc_geometry=CacheGeometry(sets=64, ways=16),
+        )
+        hier = CacheHierarchy(BaselineLLC(system.llc_geometry), system)
+        assert hier.directory is None

@@ -1,0 +1,44 @@
+"""LLC energy accounting."""
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.power import CactiLite, account
+from repro.power.storage import baseline_storage, maya_storage
+
+
+def make_stats(accesses=1000, fills=300, dirty=100):
+    stats = CacheStats()
+    stats.accesses = accesses
+    stats.data_fills = fills
+    stats.dirty_evictions = dirty
+    return stats
+
+
+class TestEnergyAccount:
+    def test_basic_accounting(self):
+        model = CactiLite()
+        est = model.estimate(baseline_storage())
+        report = account(make_stats(), est, cycles=4e9)  # one second at 4 GHz
+        # Static: 622 mW for 1 s = 622 mJ.
+        assert report.static_mj == pytest.approx(622, rel=0.01)
+        expected_dynamic_nj = 1000 * est.read_energy_nj + 400 * est.write_energy_nj
+        assert report.dynamic_mj == pytest.approx(expected_dynamic_nj * 1e-6, rel=1e-9)
+        assert report.total_mj > report.static_mj
+        assert "mJ" in report.describe()
+
+    def test_maya_beats_baseline_at_equal_activity(self):
+        """The paper's energy claim: same events cost less on Maya."""
+        model = CactiLite()
+        base = account(make_stats(), model.estimate(baseline_storage()), cycles=1e9)
+        maya = account(make_stats(), model.estimate(maya_storage()), cycles=1e9)
+        assert maya.total_mj < base.total_mj
+        assert maya.static_mj < base.static_mj
+
+    def test_validation(self):
+        model = CactiLite()
+        est = model.estimate(baseline_storage())
+        with pytest.raises(ValueError):
+            account(make_stats(), est, cycles=0)
+        with pytest.raises(ValueError):
+            account(make_stats(), est, cycles=1e6, core_ghz=0)

@@ -1,0 +1,36 @@
+"""Smoke-run the cheap examples end to end (the expensive ones are
+covered by their underlying experiment tests)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_design_space_runs(self, capsys):
+        load_example("design_space").main()
+        out = capsys.readouterr().out
+        assert "6+3+6" in out and "installs/SAE" in out
+
+    def test_quickstart_runs(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "priority-0" in out
+        assert "set-associative evictions (SAEs): 0" in out
+        assert "-2.1%" in out
+
+    def test_all_examples_importable(self):
+        for path in EXAMPLES.glob("*.py"):
+            module = load_example(path.stem)
+            assert hasattr(module, "main"), path.name

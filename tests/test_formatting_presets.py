@@ -1,0 +1,65 @@
+"""Harness helpers: formatting and experiment presets."""
+
+import pytest
+
+from repro.harness.formatting import geomean, percent, render_table, sci
+from repro.harness.presets import (
+    experiment_maya,
+    experiment_maya_iso_area,
+    experiment_mirage,
+    experiment_system,
+)
+
+
+class TestFormatting:
+    def test_render_table_alignment(self):
+        out = render_table(("name", "v"), [("a", 1), ("bbbb", 22)])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        assert "bbbb  22" in lines[3]
+
+    def test_render_floats(self):
+        out = render_table(("x",), [(1.23456,)])
+        assert "1.235" in out
+
+    def test_sci(self):
+        assert sci(4.2e32) == "4.2e32"
+        assert sci(1.15e8) == "1.2e8"
+        assert sci(float("inf")) == "inf"
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, -1.0])
+
+    def test_percent(self):
+        assert percent(0.205) == "+20.5%"
+        assert percent(-0.021) == "-2.1%"
+
+
+class TestPresets:
+    def test_experiment_system_ratios(self):
+        system = experiment_system()
+        llc_lines = system.llc_geometry.lines
+        l2_lines = system.l2_geometry.lines
+        # L2 well below LLC so the LLC sees reuse (paper ratio ~1/32).
+        assert l2_lines * 8 <= llc_lines
+
+    def test_maya_preset_matches_paper_ratios(self):
+        cfg = experiment_maya()
+        assert cfg.base_ways_per_skew == 6
+        assert cfg.reuse_ways_per_skew == 3
+        assert cfg.invalid_ways_per_skew == 6
+        # 12 MB-equivalent: 3/4 of the baseline's line count.
+        assert cfg.data_entries * 4 == experiment_system().llc_geometry.lines * 3
+
+    def test_mirage_preset_full_size_data(self):
+        cfg = experiment_mirage()
+        assert cfg.data_entries == experiment_system().llc_geometry.lines
+
+    def test_iso_area_preset_has_baseline_data(self):
+        cfg = experiment_maya_iso_area()
+        assert cfg.data_entries == experiment_system().llc_geometry.lines

@@ -1,0 +1,129 @@
+"""Cross-module integration tests: full hierarchy runs over every LLC
+design, invariants under real traffic, and design-vs-design sanity."""
+
+import pytest
+
+from repro.common.config import CacheGeometry, MayaConfig, MirageConfig, SystemConfig
+from repro.core import MayaCache
+from repro.hierarchy import CacheHierarchy, run_mix
+from repro.llc import (
+    BaselineLLC,
+    CeaserCache,
+    FullyAssociativeCache,
+    MirageCache,
+    SetPartitionedLLC,
+    WayPartitionedLLC,
+    make_ceaser_s,
+    make_scatter_cache,
+)
+from repro.trace import HETEROGENEOUS_MIXES, homogeneous
+
+
+SYSTEM = SystemConfig(
+    cores=4,
+    l1d_geometry=CacheGeometry(sets=4, ways=4),
+    l2_geometry=CacheGeometry(sets=16, ways=8),
+    llc_geometry=CacheGeometry(sets=128, ways=16),
+)
+
+
+def all_designs():
+    geo = SYSTEM.llc_geometry
+    return {
+        "baseline": BaselineLLC(geo),
+        "fully_assoc": FullyAssociativeCache(geo.lines, seed=1),
+        "ceaser": CeaserCache(geo, remap_period=50_000, hash_algorithm="splitmix", seed=1),
+        "ceaser_s": make_ceaser_s(geo, remap_period=50_000, seed=1),
+        "scatter": make_scatter_cache(geo, seed=1),
+        "mirage": MirageCache(MirageConfig(sets_per_skew=geo.sets, rng_seed=1, hash_algorithm="splitmix")),
+        "maya": MayaCache(MayaConfig(sets_per_skew=geo.sets, rng_seed=1, hash_algorithm="splitmix")),
+        "dawg": WayPartitionedLLC(geo, domains=4, seed=1),
+        "coloring": SetPartitionedLLC(geo, domains=4, seed=1),
+    }
+
+
+class TestEveryDesignRunsTheHierarchy:
+    @pytest.mark.parametrize("name", list(all_designs()))
+    def test_mix_completes_with_sane_stats(self, name):
+        llc = all_designs()[name]
+        mix = homogeneous("mcf", cores=4)
+        result = run_mix(llc, mix, SYSTEM, accesses_per_core=800, warmup_accesses=400, seed=2)
+        assert all(0 < c.ipc < 8 for c in result.cores)
+        assert result.llc_mpki >= 0
+        if hasattr(llc, "check_invariants"):
+            llc.check_invariants()
+
+    def test_secure_designs_see_no_saes(self):
+        for name in ("mirage", "maya"):
+            llc = all_designs()[name]
+            mix = homogeneous("mcf", cores=4)
+            result = run_mix(llc, mix, SYSTEM, accesses_per_core=1500, warmup_accesses=500, seed=2)
+            assert result.llc_saes == 0, name
+
+
+class TestHeterogeneousMixIntegration:
+    def test_m1_runs_on_maya(self):
+        mix = HETEROGENEOUS_MIXES["M1"]
+        system = SystemConfig(
+            cores=8,
+            l1d_geometry=CacheGeometry(sets=4, ways=4),
+            l2_geometry=CacheGeometry(sets=16, ways=8),
+            llc_geometry=CacheGeometry(sets=128, ways=16),
+        )
+        llc = MayaCache(MayaConfig(sets_per_skew=128, rng_seed=1, hash_algorithm="splitmix"))
+        result = run_mix(llc, mix, system, accesses_per_core=600, warmup_accesses=300, seed=2)
+        assert len(result.cores) == 8
+        assert {c.benchmark for c in result.cores} == set(mix.assignments)
+        llc.check_invariants()
+
+
+class TestMayaBehaviourUnderRealTraffic:
+    def test_tag_only_hits_occur(self):
+        llc = all_designs()["maya"]
+        mix = homogeneous("mcf", cores=4)
+        result = run_mix(llc, mix, SYSTEM, accesses_per_core=2000, warmup_accesses=500, seed=2)
+        assert result.llc_tag_only_hits > 0
+
+    def test_maya_dead_fraction_below_baseline(self):
+        """Reuse filtering means Maya's *data* evictions are far less
+        often dead than the baseline's (the design's whole point)."""
+        mix = homogeneous("mcf", cores=4)
+        base = run_mix(all_designs()["baseline"], mix, SYSTEM, 2500, 1000, seed=2)
+        maya = run_mix(all_designs()["maya"], mix, SYSTEM, 2500, 1000, seed=2)
+        assert maya.llc_dead_fraction < base.llc_dead_fraction
+
+    def test_rekey_mid_run_preserves_correctness(self):
+        llc = all_designs()["maya"]
+        hierarchy = CacheHierarchy(llc, SYSTEM, enable_prefetch=False)
+        for addr in range(500):
+            hierarchy.access(0, addr)
+        llc.rekey()
+        for addr in range(500):
+            hierarchy.access(0, addr)
+        llc.check_invariants()
+        assert llc.stats.saes == 0
+
+
+class TestDesignRelationships:
+    def test_partitioned_mpki_no_better_than_shared(self):
+        """Partitioning a cache cannot beat sharing it for a symmetric
+        homogeneous mix (each slice is strictly smaller)."""
+        mix = homogeneous("mcf", cores=4)
+        shared = run_mix(all_designs()["baseline"], mix, SYSTEM, 2000, 1000, seed=2)
+        dawg = run_mix(all_designs()["dawg"], mix, SYSTEM, 2000, 1000, seed=2)
+        assert dawg.llc_mpki >= shared.llc_mpki * 0.9
+
+    def test_mirage_and_maya_agree_with_fa_occupancy(self):
+        """Both decoupled designs fill their whole data store under
+        uniform pressure, like the fully associative reference."""
+        import random
+        rng = random.Random(0)
+        designs = all_designs()
+        for name in ("mirage", "maya", "fully_assoc"):
+            llc = designs[name]
+            for _ in range(30_000):
+                llc.access(rng.randrange(50_000), is_writeback=rng.random() < 0.5)
+        assert designs["fully_assoc"].occupancy == SYSTEM.llc_geometry.lines
+        assert designs["mirage"].occupancy == designs["mirage"].config.data_entries
+        maya = designs["maya"]
+        assert maya.occupancy == maya.config.data_entries

@@ -1,0 +1,20 @@
+"""The OPT-gap analysis experiment at tiny scale."""
+
+from repro.common.config import CacheGeometry
+from repro.harness.experiments import opt_gap
+
+
+class TestOptGap:
+    def test_structure(self):
+        rows = opt_gap.run(
+            workloads=("mcf",), geometry=CacheGeometry(sets=32, ways=8), accesses=4000
+        )
+        row = rows["mcf"]
+        assert set(row.rates) == {"random", "lru", "srrip", "opt", "opt_fa"}
+        assert 0.0 <= row.srrip_to_opt_gap <= 1.0
+        assert row.full_associativity_headroom >= -1e-9
+
+    def test_report(self):
+        rows = opt_gap.run(workloads=("pr",), geometry=CacheGeometry(sets=32, ways=8), accesses=4000)
+        out = opt_gap.report(rows)
+        assert "OPT" in out and "pr" in out

@@ -1,0 +1,120 @@
+"""Storage arithmetic (Table VIII) and the CACTI-lite model (Table IX)."""
+
+import pytest
+
+from repro.common.config import CacheGeometry, MayaConfig, MirageConfig
+from repro.power.cacti_lite import CactiLite, table_ix
+from repro.power.storage import (
+    baseline_storage,
+    line_address_bits,
+    maya_iso_area_storage,
+    maya_storage,
+    mirage_storage,
+    table_viii,
+)
+
+
+class TestTableVIIIExact:
+    """These are the paper's exact published numbers."""
+
+    def test_baseline_row(self):
+        b = baseline_storage()
+        assert b.tag_bit_fields == {"tag": 26, "coherence": 3}
+        assert b.tag_bits_per_entry == 29
+        assert b.tag_entries == 262144
+        assert b.tag_store_kb == 928.0
+        assert b.data_store_kb == 16384.0
+        assert b.total_kb == 17312.0
+
+    def test_mirage_row(self):
+        m = mirage_storage()
+        assert m.tag_bits_per_entry == 69
+        assert m.tag_entries == 458752
+        assert m.tag_store_kb == 3864.0
+        assert m.data_bits_per_entry == 531
+        assert m.data_store_kb == 16992.0
+        assert m.total_kb == 20856.0
+
+    def test_maya_row(self):
+        m = maya_storage()
+        assert m.tag_bit_fields["tag"] == 40
+        assert m.tag_bit_fields["priority"] == 1
+        assert m.tag_bit_fields["fptr"] == 18
+        assert m.tag_bit_fields["sdid"] == 8
+        assert m.tag_bits_per_entry == 70
+        assert m.tag_entries == 491520
+        assert m.tag_store_kb == 4200.0
+        assert m.data_entries == 196608
+        assert m.data_store_kb == 12744.0
+        # Table VIII prints 16994 but its own rows sum to 16944.
+        assert m.total_kb == 16944.0
+
+    def test_headline_overheads(self):
+        t = table_viii()
+        base = t["Baseline"]
+        assert t["Mirage"].overhead_vs(base) == pytest.approx(0.205, abs=0.003)
+        assert t["Maya"].overhead_vs(base) == pytest.approx(-0.021, abs=0.003)
+
+    def test_line_address_bits(self):
+        assert line_address_bits(64) == 40
+
+    def test_iso_variant(self):
+        iso = maya_iso_area_storage()
+        assert iso.data_entries == 262144  # baseline-sized data store
+        # The 17-way tag store pushes the RPTR to 20 bits, so the data
+        # array is a hair over Mirage's 16992 KB.
+        assert 16992.0 <= iso.data_store_kb <= 17056.0
+        assert iso.overhead_vs(baseline_storage()) > 0.2
+
+    def test_scaled_configs_scale_storage(self):
+        small = maya_storage(MayaConfig(sets_per_skew=1024))
+        full = maya_storage()
+        assert full.tag_entries == 16 * small.tag_entries
+
+
+class TestCactiLite:
+    def test_anchors_reproduce_within_tolerance(self):
+        model = CactiLite()
+        for design, residuals in model.anchor_residuals().items():
+            for metric, err in residuals.items():
+                assert abs(err) < 0.005, (design, metric, err)
+
+    def test_table_ix_headline_deltas(self):
+        """Paper: Maya -5.46% static power, -28.11% area vs baseline."""
+        estimates = table_ix()
+        deltas = estimates["Maya"].relative_to(estimates["Baseline"])
+        assert deltas["static_power"] == pytest.approx(-0.0546, abs=0.01)
+        assert deltas["area"] == pytest.approx(-0.2811, abs=0.01)
+        assert deltas["read_energy"] == pytest.approx(-0.1555, abs=0.02)
+        assert deltas["write_energy"] == pytest.approx(-0.1140, abs=0.02)
+
+    def test_mirage_overheads(self):
+        """Paper: Mirage +18.16% static power, +6.86% area."""
+        estimates = table_ix()
+        deltas = estimates["Mirage"].relative_to(estimates["Baseline"])
+        assert deltas["static_power"] == pytest.approx(0.1816, abs=0.02)
+        assert deltas["area"] == pytest.approx(0.0686, abs=0.02)
+
+    def test_monotone_in_array_sizes(self):
+        model = CactiLite()
+        small = model.estimate_kb(1000, 8000)
+        large = model.estimate_kb(1000, 16000)
+        assert large.static_power_mw > small.static_power_mw
+        assert large.area_mm2 > small.area_mm2
+
+
+class TestIntroScaling:
+    """The introduction's 32-core numbers follow from the same arithmetic."""
+
+    def test_32_core_storage_comparison(self):
+        # 32 cores x 2 MB slices = 4x the 8-core 16 MB configuration.
+        base_mb = 4 * baseline_storage().total_kb / 1024
+        mirage_mb = 4 * mirage_storage().total_kb / 1024
+        assert base_mb == pytest.approx(67.63, abs=0.1)   # paper: 67.63 MB
+        assert mirage_mb == pytest.approx(81.25, abs=0.3)  # paper: 81.25 MB
+        assert mirage_mb - base_mb == pytest.approx(13.62, abs=0.3)  # "13.62 MB extra"
+
+    def test_8_core_storage_comparison(self):
+        # Intro: 16.91 MB baseline vs 20.31 MB Mirage for 8 cores.
+        assert baseline_storage().total_kb / 1024 == pytest.approx(16.91, abs=0.01)
+        assert mirage_storage().total_kb / 1024 == pytest.approx(20.37, abs=0.07)

@@ -1,0 +1,82 @@
+"""The PRINCE cipher: published vectors, structure, and properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.prince import (
+    ALPHA,
+    ROUND_CONSTANTS,
+    SBOX,
+    SBOX_INV,
+    TEST_VECTORS,
+    Prince,
+    decrypt,
+    encrypt,
+)
+
+key64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+block = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestPublishedVectors:
+    @pytest.mark.parametrize("plaintext,k0,k1,ciphertext", TEST_VECTORS)
+    def test_encrypt(self, plaintext, k0, k1, ciphertext):
+        assert Prince((k0 << 64) | k1).encrypt(plaintext) == ciphertext
+
+    @pytest.mark.parametrize("plaintext,k0,k1,ciphertext", TEST_VECTORS)
+    def test_decrypt(self, plaintext, k0, k1, ciphertext):
+        assert Prince((k0 << 64) | k1).decrypt(ciphertext) == plaintext
+
+
+class TestStructure:
+    def test_sbox_is_a_permutation(self):
+        assert sorted(SBOX) == list(range(16))
+
+    def test_sbox_inverse(self):
+        for x in range(16):
+            assert SBOX_INV[SBOX[x]] == x
+
+    def test_alpha_reflection_of_round_constants(self):
+        """RC_i XOR RC_{11-i} == alpha for every round (paper property)."""
+        for i in range(12):
+            assert ROUND_CONSTANTS[i] ^ ROUND_CONSTANTS[11 - i] == ALPHA
+
+    def test_key_property(self):
+        cipher = Prince(0x0123456789ABCDEF_FEDCBA9876543210)
+        assert cipher.key == 0x0123456789ABCDEF_FEDCBA9876543210
+
+    def test_rejects_oversized_key(self):
+        with pytest.raises(ValueError):
+            Prince(1 << 128)
+
+
+class TestProperties:
+    @given(block, key64, key64)
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, plaintext, k0, k1):
+        cipher = Prince((k0 << 64) | k1)
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+    @given(block, key64, key64)
+    @settings(max_examples=25, deadline=None)
+    def test_output_in_range(self, plaintext, k0, k1):
+        assert 0 <= Prince((k0 << 64) | k1).encrypt(plaintext) < (1 << 64)
+
+    @given(block)
+    @settings(max_examples=25, deadline=None)
+    def test_different_keys_differ(self, plaintext):
+        a = Prince(1).encrypt(plaintext)
+        b = Prince(2).encrypt(plaintext)
+        assert a != b  # astronomically unlikely to collide
+
+    def test_avalanche(self):
+        """Flipping one plaintext bit flips roughly half the output bits."""
+        cipher = Prince(0xDEADBEEF)
+        base = cipher.encrypt(0)
+        flipped_bits = [bin(base ^ cipher.encrypt(1 << i)).count("1") for i in range(64)]
+        average = sum(flipped_bits) / len(flipped_bits)
+        assert 24 <= average <= 40
+        assert min(flipped_bits) >= 10
+
+    def test_module_level_helpers(self):
+        assert decrypt(encrypt(42, key=99), key=99) == 42

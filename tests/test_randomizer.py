@@ -1,0 +1,86 @@
+"""The randomized index functions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.crypto.randomizer import IndexRandomizer
+
+
+class TestConstruction:
+    def test_rejects_zero_skews(self):
+        with pytest.raises(ConfigurationError):
+            IndexRandomizer(0, 64)
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            IndexRandomizer(2, 64, algorithm="md5")
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            IndexRandomizer(2, 100)
+
+
+@pytest.mark.parametrize("algorithm", ["prince", "splitmix"])
+class TestMapping:
+    def test_deterministic(self, algorithm):
+        a = IndexRandomizer(2, 256, seed=5, algorithm=algorithm)
+        b = IndexRandomizer(2, 256, seed=5, algorithm=algorithm)
+        for addr in range(100):
+            assert a.all_indices(addr) == b.all_indices(addr)
+
+    def test_indices_in_range(self, algorithm):
+        r = IndexRandomizer(2, 256, seed=5, algorithm=algorithm)
+        for addr in range(500):
+            for idx in r.all_indices(addr):
+                assert 0 <= idx < 256
+
+    def test_skews_are_independent(self, algorithm):
+        """The two skews' mappings should disagree on most addresses."""
+        r = IndexRandomizer(2, 256, seed=5, algorithm=algorithm)
+        same = sum(1 for addr in range(1000) if r.set_index(addr, 0) == r.set_index(addr, 1))
+        assert same < 50  # expected ~1000/256 ~ 4
+
+    def test_sdid_changes_mapping(self, algorithm):
+        """Scatter-Cache/Maya property: domains see unrelated mappings."""
+        r = IndexRandomizer(2, 256, seed=5, algorithm=algorithm)
+        different = sum(
+            1 for addr in range(500) if r.all_indices(addr, sdid=0) != r.all_indices(addr, sdid=1)
+        )
+        assert different > 450
+
+    def test_rekey_changes_mapping_and_epoch(self, algorithm):
+        r = IndexRandomizer(2, 256, seed=5, algorithm=algorithm)
+        before = [r.all_indices(addr) for addr in range(200)]
+        epoch = r.epoch
+        r.rekey()
+        after = [r.all_indices(addr) for addr in range(200)]
+        assert r.epoch == epoch + 1
+        assert sum(1 for b, a in zip(before, after) if b != a) > 150
+
+    def test_roughly_uniform(self, algorithm):
+        """Chi-square-style sanity: no set receives a wild excess."""
+        sets = 64
+        r = IndexRandomizer(1, sets, seed=5, algorithm=algorithm)
+        counts = [0] * sets
+        samples = 6400
+        for addr in range(samples):
+            counts[r.set_index(addr)] += 1
+        expected = samples / sets
+        assert max(counts) < 2.0 * expected
+        assert min(counts) > 0.3 * expected
+
+
+class TestScramble:
+    @pytest.mark.parametrize("algorithm", ["prince", "splitmix"])
+    def test_encrypt_address_is_injective_on_sample(self, algorithm):
+        r = IndexRandomizer(1, 64, seed=5, algorithm=algorithm)
+        outputs = {r.encrypt_address(addr) for addr in range(4096)}
+        assert len(outputs) == 4096
+
+    def test_memo_survives_many_addresses(self):
+        r = IndexRandomizer(2, 64, seed=5, algorithm="splitmix")
+        first = r.all_indices(123)
+        for addr in range(5000):
+            r.all_indices(addr)
+        assert r.all_indices(123) == first

@@ -1,0 +1,47 @@
+"""The Section V-B sensitivity experiments at tiny scale."""
+
+from repro.harness.experiments import (
+    core_count_sensitivity,
+    fitting_and_tag_eviction,
+    llc_size_sensitivity,
+)
+
+
+class TestLlcSizeSensitivity:
+    def test_structure(self):
+        rows = llc_size_sensitivity.run(
+            set_sweep=(256, 512),
+            workloads=("mcf",),
+            accesses_per_core=1000,
+            warmup_per_core=500,
+        )
+        assert set(rows) == {256, 512}
+        assert rows[512].baseline_mb_equivalent == 2 * rows[256].baseline_mb_equivalent
+        assert all(0.5 < r.maya_ws < 2.0 for r in rows.values())
+        assert "LLC sets" in llc_size_sensitivity.report(rows)
+
+
+class TestCoreCountSensitivity:
+    def test_structure(self):
+        rows = core_count_sensitivity.run(
+            core_sweep=(2, 4),
+            workloads=("mcf",),
+            accesses_per_core=800,
+            warmup_per_core=400,
+        )
+        assert set(rows) == {2, 4}
+        assert all(0.5 < r.maya_ws < 2.0 for r in rows.values())
+        assert "cores" in core_count_sensitivity.report(rows)
+
+
+class TestFittingAndTagEviction:
+    def test_structure(self):
+        result = fitting_and_tag_eviction.run(
+            workloads=("deepsjeng_fit",),
+            accesses_per_core=1500,
+            warmup_per_core=800,
+        )
+        assert 0.7 < result.maya_ws < 1.3
+        assert 0.0 <= result.premature_eviction_fraction <= 1.0
+        report = fitting_and_tag_eviction.report(result)
+        assert "premature" in report

@@ -1,0 +1,112 @@
+"""The V-way cache (the Mirage/Maya lineage ancestor)."""
+
+import random
+
+import pytest
+
+from repro.common.config import CacheGeometry
+from repro.common.errors import ConfigurationError
+from repro.llc import VWayCache
+
+
+def make(replacement="reuse", sets=8, ways=8, tag_factor=2, seed=1):
+    return VWayCache(
+        CacheGeometry(sets=sets, ways=ways), tag_factor=tag_factor,
+        replacement=replacement, seed=seed,
+    )
+
+
+class TestBasics:
+    def test_fill_and_hit(self):
+        llc = make()
+        assert not llc.access(5).hit
+        assert llc.access(5).hit
+        assert llc.contains(5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make(tag_factor=0)
+        with pytest.raises(ConfigurationError):
+            make(replacement="lru")
+
+    def test_over_provisioned_tags_absorb_set_pressure(self):
+        """2x tags: a set can hold more lines than its data-ways share
+        as long as the global data store has room."""
+        llc = make(sets=4, ways=4, tag_factor=2)
+        # 8 lines mapping to one set (stride = sets) with 4 data ways/set
+        # worth of capacity globally free.
+        for i in range(8):
+            llc.access(i * 4)
+        assert llc.stats.saes == 0
+        assert all(llc.contains(i * 4) for i in range(8))
+        llc.check_invariants()
+
+    def test_sae_when_tags_exhausted(self):
+        # tag_factor=1: set 0's four tags fill while other sets hold the
+        # data store's remaining capacity, so the next set-0 line can
+        # find the global victim in a different set and still conflict.
+        llc = make(sets=4, ways=4, tag_factor=1, replacement="random")
+        for i in range(4):
+            llc.access(i * 4)  # fill set 0's tags
+        for i in range(12):
+            llc.access(100 + i * 4 + 1)  # park data in other sets
+        saes = 0
+        for i in range(4, 40):
+            saes += llc.access(i * 4).sae
+        assert saes > 0
+        llc.check_invariants()
+
+
+class TestGlobalReplacement:
+    def test_reuse_clock_protects_hot_lines(self):
+        llc = make(sets=8, ways=4, tag_factor=2, replacement="reuse")
+        hot = [1, 2, 3]
+        for addr in hot:
+            llc.access(addr)
+            llc.access(addr)  # set reuse bits
+        rng = random.Random(0)
+        for _ in range(40):
+            for addr in hot:
+                llc.access(addr)
+            llc.access(0x1000 + rng.randrange(1000))
+        hits = sum(llc.contains(addr) for addr in hot)
+        assert hits == 3
+
+    def test_random_replacement_mode(self):
+        llc = make(replacement="random")
+        rng = random.Random(0)
+        for _ in range(5000):
+            llc.access(rng.randrange(500))
+        llc.check_invariants()
+        assert llc.occupancy == llc.geometry.lines
+
+    def test_dirty_writeback_on_global_eviction(self):
+        llc = make(sets=2, ways=2, tag_factor=4)
+        wrote_back = False
+        for i in range(64):
+            result = llc.access(i, is_write=True)
+            if result.evicted is not None and result.evicted.dirty:
+                wrote_back = True
+        assert wrote_back
+
+
+class TestContract:
+    def test_flush_and_invalidate(self):
+        llc = make()
+        llc.access(7, is_write=True)
+        assert llc.invalidate(7).dirty
+        llc.access(8)
+        llc.access(9)
+        assert llc.flush_all() == 2
+        assert llc.occupancy == 0
+
+    def test_public_index_makes_it_attackable(self):
+        """V-way's index is unkeyed: an attacker can compute conflicts."""
+        llc = make()
+        assert llc.set_index(12) == 12 % llc.sets
+
+    def test_sdid_duplication(self):
+        llc = make()
+        llc.access(5, sdid=0)
+        llc.access(5, sdid=1)
+        assert llc.occupancy == 2

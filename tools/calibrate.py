@@ -1,0 +1,31 @@
+"""Calibration sweep: per-workload WS / MPKI / dead fraction for the
+three main designs.  Developer tool, not part of the library API."""
+
+import sys
+import time
+
+from repro.common.config import MayaConfig  # noqa: F401
+from repro.core import MayaCache
+from repro.harness.presets import experiment_maya, experiment_mirage, experiment_system
+from repro.hierarchy import normalized_weighted_speedup, run_mix
+from repro.llc import BaselineLLC, MirageCache
+from repro.trace import GAP_MEMORY_INTENSIVE, SPEC_MEMORY_INTENSIVE, homogeneous
+
+ACC = int(sys.argv[1]) if len(sys.argv) > 1 else 12000
+WARM = ACC // 2
+benches = list(sys.argv[2:]) or list(SPEC_MEMORY_INTENSIVE) + list(GAP_MEMORY_INTENSIVE)
+
+cfg = experiment_system()
+print(f"{'bench':12s} {'sec':>5s} {'bMPKI':>7s} {'bdead':>6s} | {'mayaWS':>7s} {'mMPKI':>7s} {'mdead':>6s} | {'mirWS':>7s} {'gMPKI':>7s}")
+for bench in benches:
+    mix = homogeneous(bench)
+    t0 = time.time()
+    rb = run_mix(BaselineLLC(cfg.llc_geometry), mix, cfg, ACC, WARM, seed=5)
+    rm = run_mix(MayaCache(experiment_maya()), mix, cfg, ACC, WARM, seed=5)
+    rg = run_mix(MirageCache(experiment_mirage()), mix, cfg, ACC, WARM, seed=5)
+    ws_m = normalized_weighted_speedup(rm, rb)
+    ws_g = normalized_weighted_speedup(rg, rb)
+    print(
+        f"{bench:12s} {time.time()-t0:5.1f} {rb.llc_mpki:7.2f} {rb.llc_dead_fraction:6.2f} | "
+        f"{ws_m:7.3f} {rm.llc_mpki:7.2f} {rm.llc_dead_fraction:6.2f} | {ws_g:7.3f} {rg.llc_mpki:7.2f}"
+    )
