@@ -35,6 +35,11 @@ class CacheStats:
     saes: int = 0
     #: Global random tag evictions (Maya).
     tag_evictions: int = 0
+    #: Randomizer mapping-cache hits/misses (line->set lookups that
+    #: skipped / paid the cipher); refreshed from the randomizer by
+    #: designs that expose ``refresh_mapping_cache_stats``.
+    randomizer_hits: int = 0
+    randomizer_misses: int = 0
     #: Per-core demand miss counts (for weighted-speedup attribution).
     per_core_misses: Dict[int, int] = field(default_factory=dict)
 
@@ -83,6 +88,12 @@ class CacheStats:
     @property
     def interference_fraction(self) -> float:
         return self.interference_evictions / self.evictions if self.evictions else 0.0
+
+    @property
+    def randomizer_hit_rate(self) -> float:
+        """Mapping-cache hit rate (0 when the design has no randomizer)."""
+        total = self.randomizer_hits + self.randomizer_misses
+        return self.randomizer_hits / total if total else 0.0
 
     def reset(self) -> None:
         """Zero every counter (used after cache warm-up)."""

@@ -84,6 +84,9 @@ class MayaCache:
         self.data = DataStore(self.config.data_entries, seed=derive_seed(self.config.rng_seed, 3))
         self._rng = make_rng(derive_seed(self.config.rng_seed, 4))
         self.stats = CacheStats()
+        #: Mapping-cache counter snapshot taken at the last stats reset,
+        #: so ``stats.randomizer_*`` report the measured window only.
+        self._mapping_cache_base = (0, 0)
         self.installs = 0
         #: Recently tag-evicted priority-0 lines, for the premature-
         #: eviction measurement (Section V-B): line -> True.
@@ -151,6 +154,20 @@ class MayaCache:
         self.stats.reset()
         self.premature_p0_evictions = 0
         self._evicted_p0_window.clear()
+        info = self.tags.randomizer.cache_info()
+        self._mapping_cache_base = (info.hits, info.misses)
+
+    def refresh_mapping_cache_stats(self):
+        """Pull the randomizer's mapping-cache counters into ``stats``.
+
+        Returns the raw :class:`~repro.crypto.randomizer.MappingCacheInfo`;
+        ``stats.randomizer_hits`` / ``stats.randomizer_misses`` are set to
+        the deltas since the last :meth:`reset_stats`.
+        """
+        info = self.tags.randomizer.cache_info()
+        self.stats.randomizer_hits = info.hits - self._mapping_cache_base[0]
+        self.stats.randomizer_misses = info.misses - self._mapping_cache_base[1]
+        return info
 
     def rekey(self) -> None:
         """Refresh the randomizing keys and flush (paper key management)."""

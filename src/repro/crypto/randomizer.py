@@ -15,21 +15,42 @@ designs' published structure:
   pair ``(skew, sdid)`` and XOR-folding the 64-bit ciphertext down to
   the set-index width.
 
-A small memo table caches the most recent mappings: simulators look up
-the same hot addresses millions of times and the cipher is the hot
-path.  The memo is invalidated on :meth:`IndexRandomizer.rekey`, which
-models CEASER-style remapping and Maya's boot-time/SAE-triggered key
-refresh.
+An LRU mapping cache holds the most recent ``(line address, SDID) ->
+per-skew set indices`` results: simulators look up the same hot
+addresses millions of times and the cipher is the hot path, so a hit
+skips the cipher entirely.  The cache is invalidated on
+:meth:`IndexRandomizer.rekey` (a key/epoch change remaps everything),
+which models CEASER-style remapping and Maya's boot-time/SAE-triggered
+key refresh, and exposes hit/miss/invalidation counters so experiments
+can report its effectiveness (see ``CacheStats.randomizer_hits``).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, NamedTuple, Optional, Tuple
 
 from ..common.bitops import fold_xor, log2_exact
 from ..common.errors import ConfigurationError
 from ..common.rng import derive_seed, make_rng
 from .prince import Prince
+
+#: Default capacity of the LRU mapping cache (entries).
+DEFAULT_MEMO_CAPACITY = 1 << 20
+
+
+class MappingCacheInfo(NamedTuple):
+    """Snapshot of the LRU mapping cache's counters."""
+
+    hits: int
+    misses: int
+    invalidations: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 class IndexRandomizer:
@@ -52,6 +73,9 @@ class IndexRandomizer:
         because only index uniformity matters there (documented in
         DESIGN.md) - the Python cipher would otherwise dominate
         simulation time.
+    memo_capacity:
+        Maximum entries in the LRU mapping cache; the least recently
+        used mapping is evicted when the cache is full.
     """
 
     def __init__(
@@ -60,11 +84,14 @@ class IndexRandomizer:
         sets_per_skew: int,
         seed: Optional[int] = None,
         algorithm: str = "prince",
+        memo_capacity: int = DEFAULT_MEMO_CAPACITY,
     ):
         if skews < 1:
             raise ConfigurationError(f"need at least one skew, got {skews}")
         if algorithm not in ("prince", "splitmix"):
             raise ConfigurationError(f"unknown randomizer algorithm {algorithm!r}")
+        if memo_capacity < 1:
+            raise ConfigurationError(f"memo capacity must be positive, got {memo_capacity}")
         self._skews = skews
         self._index_bits = log2_exact(sets_per_skew)
         self._sets_per_skew = sets_per_skew
@@ -73,7 +100,14 @@ class IndexRandomizer:
         self._epoch = 0
         self._ciphers: List[Prince] = []
         self._mix_keys: List[int] = []
+        # LRU mapping cache: (line_addr, sdid) -> per-skew indices.
+        # Plain dict in insertion order; a hit reinserts its key (O(1)
+        # move-to-back), so the front is always the LRU entry.
         self._memo: dict = {}
+        self._memo_capacity = memo_capacity
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_invalidations = 0
         self.rekey()
 
     @property
@@ -100,6 +134,8 @@ class IndexRandomizer:
         else:
             self._mix_keys = [self._seed_rng.getrandbits(64) for _ in range(self._skews)]
         self._memo.clear()
+        if self._epoch:  # the constructor's initial keying drops nothing
+            self.cache_invalidations += 1
         self._epoch += 1
 
     def _raw_indices(self, line_addr: int, sdid: int) -> tuple:
@@ -119,21 +155,45 @@ class IndexRandomizer:
             out.append(fold_xor(x, self._index_bits))
         return tuple(out)
 
+    def _lookup(self, line_addr: int, sdid: int) -> tuple:
+        """LRU cache lookup; computes and inserts on a miss."""
+        memo = self._memo
+        key = (line_addr, sdid)
+        cached = memo.pop(key, None)
+        if cached is None:
+            self.cache_misses += 1
+            cached = self._raw_indices(line_addr, sdid)
+            if len(memo) >= self._memo_capacity:
+                del memo[next(iter(memo))]  # evict the LRU entry
+        else:
+            self.cache_hits += 1
+        memo[key] = cached  # (re)insert at the MRU position
+        return cached
+
     def set_index(self, line_addr: int, skew: int = 0, sdid: int = 0) -> int:
         """Set index of ``line_addr`` in ``skew`` for security domain ``sdid``."""
-        key = (line_addr, sdid)
-        cached = self._memo.get(key)
-        if cached is None:
-            cached = self._raw_indices(line_addr, sdid)
-            if len(self._memo) >= 1 << 20:
-                self._memo.clear()
-            self._memo[key] = cached
-        return cached[skew]
+        return self._lookup(line_addr, sdid)[skew]
 
     def all_indices(self, line_addr: int, sdid: int = 0) -> Tuple[int, ...]:
         """Set indices of ``line_addr`` in every skew (one cipher pass each)."""
-        self.set_index(line_addr, 0, sdid)
-        return self._memo[(line_addr, sdid)]
+        return self._lookup(line_addr, sdid)
+
+    def compute_indices(self, line_addr: int, sdid: int = 0) -> Tuple[int, ...]:
+        """Indices recomputed from the cipher, bypassing the mapping cache.
+
+        The differential tests cross-check the cached path against this.
+        """
+        return self._raw_indices(line_addr, sdid)
+
+    def cache_info(self) -> MappingCacheInfo:
+        """Counters of the LRU mapping cache."""
+        return MappingCacheInfo(
+            hits=self.cache_hits,
+            misses=self.cache_misses,
+            invalidations=self.cache_invalidations,
+            size=len(self._memo),
+            capacity=self._memo_capacity,
+        )
 
     def encrypt_address(self, line_addr: int, skew: int = 0) -> int:
         """Full 64-bit encrypted address (CEASER stores this as the tag).

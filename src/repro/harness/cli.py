@@ -5,132 +5,150 @@ Usage::
     python -m repro.harness.cli list
     python -m repro.harness.cli table8
     python -m repro.harness.cli fig9 --fast
-    python -m repro.harness.cli all --fast
+    python -m repro.harness.cli table8 fig1 --fast --jobs 2
+    python -m repro.harness.cli all --fast --jobs 4 --json results/all.json
 
 ``--fast`` shrinks iteration counts ~4x for a quick smoke run; default
-counts match the benchmark suite.
+counts match the benchmark suite.  ``--jobs N`` runs experiments on N
+worker processes (multi-config experiments such as fig9/fig10/table7
+additionally fan out per workload mix); results are identical to the
+serial run.  ``--json PATH`` writes a machine-readable summary with
+per-experiment wall-clock timings.  A failing experiment no longer
+aborts the sweep: the remaining experiments still run and the exit
+status is 1.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from .experiments import (
-    core_count_sensitivity,
-    fig1_dead_blocks,
-    fig4_reuse_ways,
-    fig6_bucket_spills,
-    fig7_occupancy,
-    fig8_occupancy_attack,
-    fig9_homogeneous,
-    fig10_heterogeneous,
-    fitting_and_tag_eviction,
-    llc_size_sensitivity,
-    table1_reuse_security,
-    table4_associativity,
-    table7_mpki,
-    table8_storage,
-    table9_power,
-    table10_summary,
-    table11_partitioning,
-)
+from . import runner
+
+#: Experiment registry: name -> (description, module basename under
+#: ``repro.harness.experiments``, run() kwargs builder).  The builder
+#: receives the iteration scaler so ``--fast`` shrinks every sweep the
+#: same way; kwargs must stay picklable (they cross process boundaries).
+_REGISTRY: Dict[str, Tuple[str, str, Callable[[Callable[[int], int], bool], dict]]] = {
+    "fig1": (
+        "dead-block percentages (baseline vs Mirage)",
+        "fig1_dead_blocks",
+        lambda acc, fast: {"accesses": acc(8000), "warmup": acc(4000)},
+    ),
+    "fig4": (
+        "performance vs reuse ways",
+        "fig4_reuse_ways",
+        lambda acc, fast: {"accesses_per_core": acc(6000), "warmup_per_core": acc(3000)},
+    ),
+    "fig6": (
+        "bucket spills vs capacity",
+        "fig6_bucket_spills",
+        lambda acc, fast: {"iterations": acc(120_000)},
+    ),
+    "fig7": (
+        "occupancy distribution: simulation vs analytical",
+        "fig7_occupancy",
+        lambda acc, fast: {"iterations": acc(100_000)},
+    ),
+    "fig8": (
+        "occupancy-attack hardness (normalized to fully associative)",
+        "fig8_occupancy_attack",
+        lambda acc, fast: {"trials": 1 if fast else 3},
+    ),
+    "fig9": (
+        "homogeneous-mix weighted speedups",
+        "fig9_homogeneous",
+        lambda acc, fast: {"accesses_per_core": acc(8000), "warmup_per_core": acc(5000)},
+    ),
+    "fig10": (
+        "heterogeneous-mix weighted speedups",
+        "fig10_heterogeneous",
+        lambda acc, fast: {"accesses_per_core": acc(6000), "warmup_per_core": acc(3000)},
+    ),
+    "table1": (
+        "installs/SAE vs reuse x invalid ways",
+        "table1_reuse_security",
+        lambda acc, fast: {},
+    ),
+    "table4": (
+        "installs/SAE vs tag-store associativity",
+        "table4_associativity",
+        lambda acc, fast: {},
+    ),
+    "table7": (
+        "average LLC MPKIs",
+        "table7_mpki",
+        lambda acc, fast: {"accesses_per_core": acc(6000), "warmup_per_core": acc(3000)},
+    ),
+    "table8": ("storage overheads (exact)", "table8_storage", lambda acc, fast: {}),
+    "table9": ("energy/power/area", "table9_power", lambda acc, fast: {}),
+    "table10": (
+        "security/storage/performance summary",
+        "table10_summary",
+        lambda acc, fast: {"accesses_per_core": acc(5000), "warmup_per_core": acc(3000)},
+    ),
+    "table11": (
+        "secure partitioning baselines",
+        "table11_partitioning",
+        lambda acc, fast: {"accesses_per_core": acc(6000), "warmup_per_core": acc(3000)},
+    ),
+    "llc-size": (
+        "sensitivity to LLC size",
+        "llc_size_sensitivity",
+        lambda acc, fast: {"accesses_per_core": acc(5000), "warmup_per_core": acc(2500)},
+    ),
+    "cores": (
+        "sensitivity to core count",
+        "core_count_sensitivity",
+        lambda acc, fast: {"accesses_per_core": acc(3000), "warmup_per_core": acc(1500)},
+    ),
+    "fitting": (
+        "LLC-fitting benchmarks + premature tag evictions",
+        "fitting_and_tag_eviction",
+        lambda acc, fast: {"accesses_per_core": acc(5000), "warmup_per_core": acc(2500)},
+    ),
+}
+
+_EXPERIMENTS_PACKAGE = "repro.harness.experiments"
 
 
 def _scaled(value: int, fast: bool) -> int:
     return max(500, value // 4) if fast else value
 
 
-def _experiments(fast: bool) -> Dict[str, Tuple[str, Callable[[], str]]]:
+def _accepts_seed(module_path: str) -> bool:
+    module = runner._load(module_path)
+    return "seed" in inspect.signature(module.run).parameters
+
+
+def build_tasks(
+    names: List[str], fast: bool, base_seed: Optional[int] = None
+) -> List[runner.ExperimentTask]:
+    """Materialize tasks for ``names`` (all inputs resolved, picklable).
+
+    With ``base_seed`` set, every experiment whose ``run()`` takes a
+    ``seed`` gets a deterministic per-task child seed
+    (:func:`repro.harness.runner.derive_task_seed`); otherwise the
+    experiments' built-in default seeds apply, matching historical
+    output byte for byte.
+    """
     acc = lambda n: _scaled(n, fast)  # noqa: E731
-    return {
-        "fig1": (
-            "dead-block percentages (baseline vs Mirage)",
-            lambda: fig1_dead_blocks.report(
-                fig1_dead_blocks.run(accesses=acc(8000), warmup=acc(4000))
-            ),
-        ),
-        "fig4": (
-            "performance vs reuse ways",
-            lambda: fig4_reuse_ways.report(
-                fig4_reuse_ways.run(accesses_per_core=acc(6000), warmup_per_core=acc(3000))
-            ),
-        ),
-        "fig6": (
-            "bucket spills vs capacity",
-            lambda: fig6_bucket_spills.report(fig6_bucket_spills.run(iterations=acc(120_000))),
-        ),
-        "fig7": (
-            "occupancy distribution: simulation vs analytical",
-            lambda: fig7_occupancy.report(fig7_occupancy.run(iterations=acc(100_000))),
-        ),
-        "fig8": (
-            "occupancy-attack hardness (normalized to fully associative)",
-            lambda: fig8_occupancy_attack.report(
-                fig8_occupancy_attack.run(trials=1 if fast else 3)
-            ),
-        ),
-        "fig9": (
-            "homogeneous-mix weighted speedups",
-            lambda: fig9_homogeneous.report(
-                fig9_homogeneous.run(accesses_per_core=acc(8000), warmup_per_core=acc(5000))
-            ),
-        ),
-        "fig10": (
-            "heterogeneous-mix weighted speedups",
-            lambda: fig10_heterogeneous.report(
-                fig10_heterogeneous.run(accesses_per_core=acc(6000), warmup_per_core=acc(3000))
-            ),
-        ),
-        "table1": (
-            "installs/SAE vs reuse x invalid ways",
-            lambda: table1_reuse_security.report(table1_reuse_security.run()),
-        ),
-        "table4": (
-            "installs/SAE vs tag-store associativity",
-            lambda: table4_associativity.report(table4_associativity.run()),
-        ),
-        "table7": (
-            "average LLC MPKIs",
-            lambda: table7_mpki.report(
-                table7_mpki.run(accesses_per_core=acc(6000), warmup_per_core=acc(3000))
-            ),
-        ),
-        "table8": ("storage overheads (exact)", lambda: table8_storage.report(table8_storage.run())),
-        "table9": ("energy/power/area", lambda: table9_power.report(table9_power.run())),
-        "table10": (
-            "security/storage/performance summary",
-            lambda: table10_summary.report(
-                table10_summary.run(accesses_per_core=acc(5000), warmup_per_core=acc(3000))
-            ),
-        ),
-        "table11": (
-            "secure partitioning baselines",
-            lambda: table11_partitioning.report(
-                table11_partitioning.run(accesses_per_core=acc(6000), warmup_per_core=acc(3000))
-            ),
-        ),
-        "llc-size": (
-            "sensitivity to LLC size",
-            lambda: llc_size_sensitivity.report(
-                llc_size_sensitivity.run(accesses_per_core=acc(5000), warmup_per_core=acc(2500))
-            ),
-        ),
-        "cores": (
-            "sensitivity to core count",
-            lambda: core_count_sensitivity.report(
-                core_count_sensitivity.run(accesses_per_core=acc(3000), warmup_per_core=acc(1500))
-            ),
-        ),
-        "fitting": (
-            "LLC-fitting benchmarks + premature tag evictions",
-            lambda: fitting_and_tag_eviction.report(
-                fitting_and_tag_eviction.run(accesses_per_core=acc(5000), warmup_per_core=acc(2500))
-            ),
-        ),
-    }
+    tasks = []
+    for name in names:
+        description, basename, kwargs_builder = _REGISTRY[name]
+        module_path = f"{_EXPERIMENTS_PACKAGE}.{basename}"
+        kwargs = kwargs_builder(acc, fast)
+        if base_seed is not None and _accepts_seed(module_path):
+            kwargs["seed"] = runner.derive_task_seed(base_seed, name)
+        tasks.append(
+            runner.ExperimentTask(
+                name=name, description=description, module=module_path, kwargs=kwargs
+            )
+        )
+    return tasks
 
 
 def main(argv=None) -> int:
@@ -138,27 +156,59 @@ def main(argv=None) -> int:
         prog="repro-experiments",
         description="Regenerate the Maya paper's tables and figures.",
     )
-    parser.add_argument("experiment", help="experiment id, 'list', or 'all'")
+    parser.add_argument("experiments", nargs="+", help="experiment id(s), 'list', or 'all'")
     parser.add_argument("--fast", action="store_true", help="~4x fewer iterations")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (0 = one per CPU, capped at 8; default 1 = serial)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write a machine-readable summary (timings, texts, errors) to PATH",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, metavar="S",
+        help="base seed; per-experiment child seeds are derived deterministically",
+    )
     args = parser.parse_args(argv)
 
-    registry = _experiments(args.fast)
-    if args.experiment == "list":
-        for name, (description, _) in registry.items():
+    if args.experiments == ["list"]:
+        for name, (description, _, _) in _REGISTRY.items():
             print(f"{name:10s} {description}")
         return 0
 
-    names = list(registry) if args.experiment == "all" else [args.experiment]
-    unknown = [n for n in names if n not in registry]
+    names = list(_REGISTRY) if "all" in args.experiments else args.experiments
+    unknown = [n for n in names if n not in _REGISTRY]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}; try 'list'", file=sys.stderr)
         return 2
-    for name in names:
-        description, runner = registry[name]
-        print(f"\n=== {name}: {description} ===")
-        start = time.time()
-        print(runner())
-        print(f"[{time.time() - start:.1f}s]")
+
+    jobs = runner.default_jobs() if args.jobs == 0 else max(1, args.jobs)
+    tasks = build_tasks(names, args.fast, base_seed=args.seed)
+    progress = (lambda line: print(f"[runner] {line}", file=sys.stderr)) if jobs > 1 else None
+    start = time.perf_counter()
+    results = runner.run_tasks(tasks, jobs=jobs, progress=progress)
+    wall_seconds = time.perf_counter() - start
+
+    failures = 0
+    for result in results:
+        print(f"\n=== {result.name}: {result.description} ===")
+        if result.ok:
+            print(result.text)
+        else:
+            failures += 1
+            print(f"FAILED after {result.seconds:.1f}s", file=sys.stderr)
+            print(result.error, file=sys.stderr)
+        print(f"[{result.seconds:.1f}s]")
+
+    if args.json:
+        runner.write_summary(
+            args.json, results, jobs, wall_seconds,
+            extra={"fast": args.fast, "seed": args.seed, "experiments": names},
+        )
+    if failures:
+        print(f"{failures} experiment(s) failed", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -8,7 +8,7 @@ medium/high bins; Mirage is marginally below baseline throughout.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ...core import MayaCache
 from ...hierarchy import normalized_weighted_speedup, run_mix
@@ -27,6 +27,49 @@ class MixRow:
     baseline_mpki: float
 
 
+def _mix_row(name: str, system, accesses_per_core: int, warmup_per_core: int, seed: int) -> MixRow:
+    """The three-design comparison for one mix (one fan-out unit)."""
+    mix = HETEROGENEOUS_MIXES[name]
+    base = run_mix(
+        BaselineLLC(system.llc_geometry), mix, system, accesses_per_core, warmup_per_core, seed=seed
+    )
+    maya = run_mix(
+        MayaCache(experiment_maya(seed=seed)), mix, system, accesses_per_core, warmup_per_core, seed=seed
+    )
+    mirage = run_mix(
+        MirageCache(experiment_mirage(seed=seed)), mix, system, accesses_per_core, warmup_per_core, seed=seed
+    )
+    return MixRow(
+        mix=name,
+        bin=mix.bin,
+        maya_ws=normalized_weighted_speedup(maya, base),
+        mirage_ws=normalized_weighted_speedup(mirage, base),
+        baseline_mpki=base.llc_mpki,
+    )
+
+
+# -- parallel-runner shard protocol (see repro.harness.runner) -------------
+
+
+def shard_keys(mixes: Optional[Sequence[str]] = None, **_kwargs) -> List[str]:
+    """One shard per heterogeneous mix."""
+    return list(mixes or HETEROGENEOUS_MIXES)
+
+
+def run_shard(
+    key: str,
+    accesses_per_core: int = 10_000,
+    warmup_per_core: int = 6_000,
+    seed: int = 5,
+    **_kwargs,
+) -> MixRow:
+    return _mix_row(key, experiment_system(), accesses_per_core, warmup_per_core, seed)
+
+
+def merge_shards(keys: Sequence[str], parts: Sequence[MixRow], **_kwargs) -> Dict[str, MixRow]:
+    return dict(zip(keys, parts))
+
+
 def run(
     mixes: Optional[Sequence[str]] = None,
     accesses_per_core: int = 10_000,
@@ -34,28 +77,10 @@ def run(
     seed: int = 5,
 ) -> Dict[str, MixRow]:
     """Run the heterogeneous sweep; returns one row per mix."""
-    names = list(mixes or HETEROGENEOUS_MIXES)
     system = experiment_system()
-    rows: Dict[str, MixRow] = {}
-    for name in names:
-        mix = HETEROGENEOUS_MIXES[name]
-        base = run_mix(
-            BaselineLLC(system.llc_geometry), mix, system, accesses_per_core, warmup_per_core, seed=seed
-        )
-        maya = run_mix(
-            MayaCache(experiment_maya(seed=seed)), mix, system, accesses_per_core, warmup_per_core, seed=seed
-        )
-        mirage = run_mix(
-            MirageCache(experiment_mirage(seed=seed)), mix, system, accesses_per_core, warmup_per_core, seed=seed
-        )
-        rows[name] = MixRow(
-            mix=name,
-            bin=mix.bin,
-            maya_ws=normalized_weighted_speedup(maya, base),
-            mirage_ws=normalized_weighted_speedup(mirage, base),
-            baseline_mpki=base.llc_mpki,
-        )
-    return rows
+    keys = shard_keys(mixes)
+    parts = [_mix_row(n, system, accesses_per_core, warmup_per_core, seed) for n in keys]
+    return merge_shards(keys, parts)
 
 
 def bin_geomean(rows: Dict[str, MixRow], bin_: str, design: str) -> float:

@@ -12,7 +12,7 @@ baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ...core import MayaCache
 from ...hierarchy import normalized_weighted_speedup, run_mix
@@ -33,6 +33,51 @@ class SpeedupRow:
     mirage_mpki: float
 
 
+def _bench_row(bench: str, system, accesses_per_core: int, warmup_per_core: int, seed: int) -> SpeedupRow:
+    """The three-design comparison for one benchmark (one fan-out unit)."""
+    mix = homogeneous(bench)
+    base = run_mix(
+        BaselineLLC(system.llc_geometry), mix, system, accesses_per_core, warmup_per_core, seed=seed
+    )
+    maya = run_mix(
+        MayaCache(experiment_maya(seed=seed)), mix, system, accesses_per_core, warmup_per_core, seed=seed
+    )
+    mirage = run_mix(
+        MirageCache(experiment_mirage(seed=seed)), mix, system, accesses_per_core, warmup_per_core, seed=seed
+    )
+    return SpeedupRow(
+        benchmark=bench,
+        suite="spec" if bench in set(SPEC_MEMORY_INTENSIVE) else "gap",
+        maya_ws=normalized_weighted_speedup(maya, base),
+        mirage_ws=normalized_weighted_speedup(mirage, base),
+        baseline_mpki=base.llc_mpki,
+        maya_mpki=maya.llc_mpki,
+        mirage_mpki=mirage.llc_mpki,
+    )
+
+
+# -- parallel-runner shard protocol (see repro.harness.runner) -------------
+
+
+def shard_keys(workloads: Optional[Sequence[str]] = None, **_kwargs) -> List[str]:
+    """One shard per benchmark; every bench simulates independently."""
+    return list(workloads or (list(SPEC_MEMORY_INTENSIVE) + list(GAP_MEMORY_INTENSIVE)))
+
+
+def run_shard(
+    key: str,
+    accesses_per_core: int = 10_000,
+    warmup_per_core: int = 6_000,
+    seed: int = 5,
+    **_kwargs,
+) -> SpeedupRow:
+    return _bench_row(key, experiment_system(), accesses_per_core, warmup_per_core, seed)
+
+
+def merge_shards(keys: Sequence[str], parts: Sequence[SpeedupRow], **_kwargs) -> Dict[str, SpeedupRow]:
+    return dict(zip(keys, parts))
+
+
 def run(
     workloads: Optional[Sequence[str]] = None,
     accesses_per_core: int = 10_000,
@@ -40,31 +85,10 @@ def run(
     seed: int = 5,
 ) -> Dict[str, SpeedupRow]:
     """Run the homogeneous sweep; returns one row per benchmark."""
-    spec = set(SPEC_MEMORY_INTENSIVE)
-    workloads = list(workloads or (list(SPEC_MEMORY_INTENSIVE) + list(GAP_MEMORY_INTENSIVE)))
     system = experiment_system()
-    rows: Dict[str, SpeedupRow] = {}
-    for bench in workloads:
-        mix = homogeneous(bench)
-        base = run_mix(
-            BaselineLLC(system.llc_geometry), mix, system, accesses_per_core, warmup_per_core, seed=seed
-        )
-        maya = run_mix(
-            MayaCache(experiment_maya(seed=seed)), mix, system, accesses_per_core, warmup_per_core, seed=seed
-        )
-        mirage = run_mix(
-            MirageCache(experiment_mirage(seed=seed)), mix, system, accesses_per_core, warmup_per_core, seed=seed
-        )
-        rows[bench] = SpeedupRow(
-            benchmark=bench,
-            suite="spec" if bench in spec else "gap",
-            maya_ws=normalized_weighted_speedup(maya, base),
-            mirage_ws=normalized_weighted_speedup(mirage, base),
-            baseline_mpki=base.llc_mpki,
-            maya_mpki=maya.llc_mpki,
-            mirage_mpki=mirage.llc_mpki,
-        )
-    return rows
+    keys = shard_keys(workloads)
+    parts = [_bench_row(b, system, accesses_per_core, warmup_per_core, seed) for b in keys]
+    return merge_shards(keys, parts)
 
 
 def suite_geomean(rows: Dict[str, SpeedupRow], suite: str, design: str) -> float:

@@ -11,7 +11,7 @@ misses) and slightly below on H.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...core import MayaCache
 from ...hierarchy import run_mix
@@ -34,17 +34,75 @@ class MpkiRow:
     maya: float
 
 
-def _average_mpki(mixes, system, accesses, warmup, seed) -> MpkiRow:
-    sums = {"baseline": 0.0, "mirage": 0.0, "maya": 0.0}
-    for mix in mixes:
-        base = run_mix(BaselineLLC(system.llc_geometry), mix, system, accesses, warmup, seed=seed)
-        mirage = run_mix(MirageCache(experiment_mirage(seed=seed)), mix, system, accesses, warmup, seed=seed)
-        maya = run_mix(MayaCache(experiment_maya(seed=seed)), mix, system, accesses, warmup, seed=seed)
-        sums["baseline"] += base.llc_mpki
-        sums["mirage"] += mirage.llc_mpki
-        sums["maya"] += maya.llc_mpki
-    n = len(mixes)
-    return MpkiRow("", sums["baseline"] / n, sums["mirage"] / n, sums["maya"] / n)
+_BIN_LABELS = {"L": "HETERO LOW", "M": "HETERO MEDIUM", "H": "HETERO HIGH"}
+
+#: A shard key: (group label, "rate"/"hetero", workload or mix name).
+ShardKey = Tuple[str, str, str]
+
+
+def _mix_mpkis(mix, system, accesses, warmup, seed) -> Tuple[float, float, float]:
+    """(baseline, mirage, maya) demand MPKIs for one mix (one fan-out unit)."""
+    base = run_mix(BaselineLLC(system.llc_geometry), mix, system, accesses, warmup, seed=seed)
+    mirage = run_mix(MirageCache(experiment_mirage(seed=seed)), mix, system, accesses, warmup, seed=seed)
+    maya = run_mix(MayaCache(experiment_maya(seed=seed)), mix, system, accesses, warmup, seed=seed)
+    return base.llc_mpki, mirage.llc_mpki, maya.llc_mpki
+
+
+# -- parallel-runner shard protocol (see repro.harness.runner) -------------
+
+
+def shard_keys(
+    rate_workloads: Optional[Sequence[str]] = None,
+    hetero_bins: Sequence[str] = ("L", "M", "H"),
+    mixes_per_bin: int = 3,
+    **_kwargs,
+) -> List[ShardKey]:
+    """One shard per mix, tagged with the report group it averages into."""
+    keys: List[ShardKey] = [
+        ("SPEC and GAP-RATE", "rate", b)
+        for b in (rate_workloads or (list(SPEC_MEMORY_INTENSIVE) + list(GAP_MEMORY_INTENSIVE)))
+    ]
+    for bin_ in hetero_bins:
+        names = [n for n, m in HETEROGENEOUS_MIXES.items() if m.bin == bin_][:mixes_per_bin]
+        keys.extend((_BIN_LABELS[bin_], "hetero", name) for name in names)
+    return keys
+
+
+def run_shard(
+    key: ShardKey,
+    accesses_per_core: int = 8_000,
+    warmup_per_core: int = 5_000,
+    seed: int = 5,
+    **_kwargs,
+) -> Tuple[float, float, float]:
+    _, kind, name = key
+    mix = homogeneous(name) if kind == "rate" else HETEROGENEOUS_MIXES[name]
+    return _mix_mpkis(mix, experiment_system(), accesses_per_core, warmup_per_core, seed)
+
+
+def merge_shards(
+    keys: Sequence[ShardKey], parts: Sequence[Tuple[float, float, float]], **_kwargs
+) -> Dict[str, MpkiRow]:
+    """Average the per-mix MPKIs group by group, in shard order.
+
+    Summation follows the key order, so the floating-point result is
+    bit-identical to the serial loop's.
+    """
+    rows: Dict[str, MpkiRow] = {}
+    sums: Dict[str, List[float]] = {}
+    counts: Dict[str, int] = {}
+    for (group, _, _), (base, mirage, maya) in zip(keys, parts):
+        if group not in sums:
+            sums[group] = [0.0, 0.0, 0.0]
+            counts[group] = 0
+        sums[group][0] += base
+        sums[group][1] += mirage
+        sums[group][2] += maya
+        counts[group] += 1
+    for group, (base, mirage, maya) in sums.items():
+        n = counts[group]
+        rows[group] = MpkiRow(group, base / n, mirage / n, maya / n)
+    return rows
 
 
 def run(
@@ -56,24 +114,12 @@ def run(
     seed: int = 5,
 ) -> Dict[str, MpkiRow]:
     """Average MPKIs for the rate mixes and each heterogeneous bin."""
-    system = experiment_system()
-    rows: Dict[str, MpkiRow] = {}
-
-    rate = [
-        homogeneous(b)
-        for b in (rate_workloads or (list(SPEC_MEMORY_INTENSIVE) + list(GAP_MEMORY_INTENSIVE)))
+    keys = shard_keys(rate_workloads, hetero_bins, mixes_per_bin)
+    parts = [
+        run_shard(k, accesses_per_core=accesses_per_core, warmup_per_core=warmup_per_core, seed=seed)
+        for k in keys
     ]
-    row = _average_mpki(rate, system, accesses_per_core, warmup_per_core, seed)
-    rows["SPEC and GAP-RATE"] = MpkiRow("SPEC and GAP-RATE", row.baseline, row.mirage, row.maya)
-
-    for bin_ in hetero_bins:
-        mixes = [m for m in HETEROGENEOUS_MIXES.values() if m.bin == bin_][:mixes_per_bin]
-        if not mixes:
-            continue
-        row = _average_mpki(mixes, system, accesses_per_core, warmup_per_core, seed)
-        label = {"L": "HETERO LOW", "M": "HETERO MEDIUM", "H": "HETERO HIGH"}[bin_]
-        rows[label] = MpkiRow(label, row.baseline, row.mirage, row.maya)
-    return rows
+    return merge_shards(keys, parts)
 
 
 def report(rows: Dict[str, MpkiRow]) -> str:

@@ -47,6 +47,9 @@ class MixResult:
     llc_interference_fraction: float
     llc_saes: int
     llc_tag_only_hits: int
+    #: Randomizer mapping-cache hit rate over the measured window
+    #: (0.0 for designs without a randomizer/mapping cache).
+    llc_randomizer_hit_rate: float = 0.0
 
     @property
     def total_instructions(self) -> int:
@@ -134,6 +137,9 @@ def run_mix(
         if done_accesses[core_id] < accesses_per_core:
             heapq.heappush(heap, (clocks[core_id], core_id))
 
+    refresh_mapping_cache = getattr(llc, "refresh_mapping_cache_stats", None)
+    if refresh_mapping_cache is not None:
+        refresh_mapping_cache()
     stats = llc.stats
     total_instructions = sum(instructions)
     cores = [
@@ -148,6 +154,7 @@ def run_mix(
         llc_interference_fraction=stats.interference_fraction,
         llc_saes=stats.saes,
         llc_tag_only_hits=stats.tag_only_hits,
+        llc_randomizer_hit_rate=stats.randomizer_hit_rate,
     )
 
 

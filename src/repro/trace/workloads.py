@@ -27,6 +27,7 @@ Calibration notes, from the paper's text:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, Tuple
 
@@ -54,7 +55,10 @@ class WorkloadSpec:
     def stream(self, llc_lines: int, seed: Optional[int] = None) -> Iterator[MemoryAccess]:
         """Instantiate the infinite access stream for this workload."""
         footprint = max(64, int(self.footprint_x_llc * llc_lines))
-        s = derive_seed(seed, hash(self.name) & 0xFFFF)
+        # CRC-32, not hash(): str hashes are salted per process, which
+        # would make every trace-driven result irreproducible across
+        # runs (and break serial-vs-parallel identity in the harness).
+        s = derive_seed(seed, zlib.crc32(self.name.encode("utf-8")) & 0xFFFF)
         p = dict(self.params)
         if self.kind == "streaming":
             return synthetic.streaming(footprint, seed=s, **p)

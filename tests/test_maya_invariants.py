@@ -1,0 +1,133 @@
+"""Randomized-trace property tests for the Maya security invariants.
+
+The paper's security argument rests on structural properties that must
+hold after *every* operation, not just at quiescence:
+
+* the invalid-tag reserve is constant in steady state (global random
+  tag eviction replaces every tag the installs consume),
+* a priority-0 tag never owns data (its FPTR is invalid),
+* every data-store entry has exactly one priority-1 owner,
+* no set-associative eviction occurs under ordinary traffic (the
+  6-invalid-way provisioning makes SAEs astronomically rare).
+
+These tests drive a scaled Maya cache with randomized mixed traffic
+and check the invariants continuously (cheap counters every access, the
+full cross-structure scan periodically).
+"""
+
+import pytest
+
+from repro.common.rng import make_rng
+from repro.core import MayaCache
+from repro.core.tag_store import NO_DATA, TagState
+from repro.harness.presets import experiment_maya
+
+
+def _saturated_cache(seed: int = 13) -> MayaCache:
+    """A small Maya cache driven to steady state (data + p0 pools full)."""
+    cache = MayaCache(experiment_maya(llc_sets=64, seed=seed))
+    # Distinct-address writes install priority-1 directly; once the data
+    # store fills, every further write demotes a victim, growing the
+    # priority-0 pool to its steady-state size.
+    for addr in range(cache.config.data_entries + cache.config.priority0_entries + 500):
+        cache.access(addr, is_write=True)
+    assert cache.data.full
+    assert cache.tags.priority0_count == cache.config.priority0_entries
+    cache.reset_stats()
+    return cache
+
+
+def _invalid_count(cache: MayaCache) -> int:
+    return cache.config.tag_entries - cache.tags.priority0_count - cache.tags.priority1_count
+
+
+class TestSteadyStateInvariants:
+    @pytest.mark.slow
+    def test_100k_mixed_accesses_hold_all_invariants(self):
+        cache = _saturated_cache()
+        rng = make_rng(0xFEED)
+        pool = 3000  # > tag capacity, so traffic mixes hits, promotions, misses
+        reserve = _invalid_count(cache)
+        assert reserve >= cache.config.skews * cache.config.sets_per_skew * \
+            cache.config.invalid_ways_per_skew // 2
+        for i in range(100_000):
+            addr = rng.randrange(pool)
+            cache.access(addr, is_write=rng.random() < 0.3, core_id=rng.randrange(4))
+            # O(1) checks after every operation.
+            assert _invalid_count(cache) == reserve, f"invalid reserve drifted at access {i}"
+            assert cache.stats.saes == 0, f"set-associative eviction at access {i}"
+            if i % 5000 == 4999:
+                cache.check_invariants()  # full cross-structure scan
+        # Explicit final scans of the per-entry properties.
+        owners = {}
+        for tag_idx, entry in cache.tags.iter_valid():
+            if entry.state is TagState.PRIORITY_0:
+                assert entry.fptr == NO_DATA, "priority-0 tag owns a data pointer"
+            else:
+                assert entry.fptr != NO_DATA
+                assert entry.fptr not in owners, "data entry with two priority-1 owners"
+                owners[entry.fptr] = tag_idx
+        assert len(owners) == cache.data.used, "data entry without a priority-1 owner"
+        for fptr, tag_idx in owners.items():
+            assert cache.data.entry(fptr).rptr == tag_idx
+
+    def test_promotion_and_demotion_preserve_the_reserve(self):
+        """The promote/demote cycle (p0 hit with a full data store) is
+        invalid-count neutral: demote frees data but keeps the tag."""
+        cache = _saturated_cache(seed=21)
+        reserve = _invalid_count(cache)
+        # Touch priority-0 tags directly: each access promotes one and
+        # (data store full) demotes a random priority-1 victim.
+        p0_lines = [
+            entry.line_addr
+            for _, entry in cache.tags.iter_valid()
+            if entry.state is TagState.PRIORITY_0
+        ][:200]
+        for line in p0_lines:
+            before = cache.tags.priority1_count
+            result = cache.access(line)
+            if result.tag_hit:
+                assert cache.tags.priority1_count == before  # +1 promote, -1 demote
+            assert _invalid_count(cache) == reserve
+        cache.check_invariants()
+
+
+class TestInvariantsUnderDisruption:
+    def test_invalidate_and_flush_keep_structures_consistent(self):
+        """clflush / flush_all traffic breaks the steady-state constancy
+        but must never break the structural invariants."""
+        cache = MayaCache(experiment_maya(llc_sets=64, seed=5))
+        rng = make_rng(0xD15)
+        live = set()
+        for i in range(20_000):
+            op = rng.random()
+            addr = rng.randrange(2000)
+            if op < 0.80:
+                cache.access(addr, is_write=rng.random() < 0.3)
+                live.add(addr)
+            elif op < 0.95:
+                cache.invalidate(addr)
+                live.discard(addr)
+            elif op < 0.999:
+                # A batch of invalidations of known-resident lines.
+                for victim in list(live)[:8]:
+                    cache.invalidate(victim)
+                    live.discard(victim)
+            else:
+                cache.flush_all()
+                live.clear()
+            if i % 2000 == 1999:
+                cache.check_invariants()
+        cache.check_invariants()
+        assert cache.stats.saes == 0
+
+    def test_rekey_restores_a_pristine_tag_store(self):
+        cache = MayaCache(experiment_maya(llc_sets=64, seed=7))
+        for addr in range(2000):
+            cache.access(addr, is_write=addr % 3 == 0)
+        cache.rekey()
+        cache.check_invariants()
+        assert cache.tags.priority0_count == 0
+        assert cache.tags.priority1_count == 0
+        assert cache.data.used == 0
+        assert _invalid_count(cache) == cache.config.tag_entries

@@ -1,0 +1,140 @@
+"""Differential tests for the randomizer's LRU mapping cache.
+
+The cache is a pure performance layer: every (line address, SDID)
+mapping it serves must equal what the cipher would compute, across
+epochs and security domains, and a re-key must drop every entry (a
+stale mapping after an epoch change would be a *correctness* bug - the
+whole point of re-keying is that old mappings become invalid).
+"""
+
+import pytest
+
+from repro.common.rng import make_rng
+from repro.core import MayaCache
+from repro.crypto.randomizer import IndexRandomizer
+from repro.harness.presets import experiment_maya
+
+
+@pytest.mark.parametrize("algorithm", ["splitmix", "prince"])
+class TestDifferential:
+    def test_cached_equals_uncached(self, algorithm):
+        """Cached path == cipher path for random addresses x SDIDs x epochs."""
+        r = IndexRandomizer(2, 256, seed=11, algorithm=algorithm)
+        rng = make_rng(99)
+        addresses = [rng.getrandbits(40) for _ in range(2500 if algorithm == "prince" else 10_000)]
+        for epoch in range(2):
+            for addr in addresses:
+                for sdid in (0, 1):
+                    assert r.all_indices(addr, sdid) == r.compute_indices(addr, sdid), (
+                        epoch, addr, sdid)
+            r.rekey()
+
+    def test_repeat_lookups_hit_and_stay_correct(self, algorithm):
+        r = IndexRandomizer(2, 128, seed=3, algorithm=algorithm)
+        addrs = list(range(200))
+        first = [r.all_indices(a) for a in addrs]
+        hits_before = r.cache_hits
+        second = [r.all_indices(a) for a in addrs]
+        assert second == first
+        assert r.cache_hits == hits_before + len(addrs)
+        assert [r.compute_indices(a) for a in addrs] == first
+
+    def test_sdid_keys_are_distinct_cache_entries(self, algorithm):
+        r = IndexRandomizer(2, 256, seed=5, algorithm=algorithm)
+        r.all_indices(42, sdid=0)
+        r.all_indices(42, sdid=7)
+        assert r.cache_info().size == 2
+        assert r.all_indices(42, sdid=0) == r.compute_indices(42, sdid=0)
+        assert r.all_indices(42, sdid=7) == r.compute_indices(42, sdid=7)
+
+
+class TestInvalidation:
+    def test_rekey_fully_invalidates(self):
+        r = IndexRandomizer(2, 256, seed=11, algorithm="splitmix")
+        addrs = list(range(500))
+        before = {a: r.all_indices(a) for a in addrs}
+        assert r.cache_info().size == len(addrs)
+        r.rekey()
+        info = r.cache_info()
+        assert info.size == 0
+        assert info.invalidations == 1
+        misses_before = r.cache_misses
+        after = {a: r.all_indices(a) for a in addrs}
+        # Every post-rekey lookup recomputed (no stale entry served) ...
+        assert r.cache_misses == misses_before + len(addrs)
+        # ... and matches the new keys' cipher output.
+        assert all(after[a] == r.compute_indices(a) for a in addrs)
+        assert any(after[a] != before[a] for a in addrs)
+
+    def test_construction_counts_no_invalidation(self):
+        assert IndexRandomizer(2, 64, seed=1).cache_info().invalidations == 0
+
+
+class TestLruBehaviour:
+    def test_capacity_is_bounded(self):
+        r = IndexRandomizer(2, 64, seed=1, algorithm="splitmix", memo_capacity=128)
+        for addr in range(1000):
+            r.all_indices(addr)
+        assert r.cache_info().size == 128
+
+    def test_lru_eviction_order(self):
+        r = IndexRandomizer(2, 64, seed=1, algorithm="splitmix", memo_capacity=4)
+        for addr in (0, 1, 2, 3):
+            r.all_indices(addr)
+        r.all_indices(0)  # touch 0: now 1 is the LRU entry
+        r.all_indices(4)  # evicts 1
+        misses = r.cache_misses
+        r.all_indices(0)
+        r.all_indices(4)
+        assert r.cache_misses == misses  # both still resident
+        r.all_indices(1)
+        assert r.cache_misses == misses + 1  # 1 was evicted
+
+    def test_rejects_nonpositive_capacity(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            IndexRandomizer(2, 64, memo_capacity=0)
+
+
+class TestMayaIntegration:
+    @pytest.mark.perf
+    def test_reuse_heavy_trace_hits_over_half(self):
+        """Acceptance: >50% mapping-cache hit rate on a reuse-heavy trace.
+
+        Three sweeps over a fixed working set: the first pays the
+        cipher, the rest hit the cache, so the hit rate approaches 2/3.
+        """
+        cache = MayaCache(experiment_maya(llc_sets=64, seed=9))
+        cache.reset_stats()
+        working_set = list(range(1500))
+        for _ in range(3):
+            for addr in working_set:
+                cache.access(addr)
+        info = cache.refresh_mapping_cache_stats()
+        assert cache.stats.randomizer_hit_rate > 0.5
+        assert info.hits == cache.stats.randomizer_hits
+        assert cache.stats.randomizer_hits + cache.stats.randomizer_misses > 0
+
+    def test_reset_stats_windows_the_counters(self):
+        cache = MayaCache(experiment_maya(llc_sets=64, seed=9))
+        for addr in range(200):
+            cache.access(addr)
+        # Flushing drops the tags but keeps the mapping cache warm, so
+        # the reinstalls below look up the randomizer and all hit.
+        cache.flush_all()
+        cache.reset_stats()
+        for addr in range(200):
+            cache.access(addr)
+        cache.refresh_mapping_cache_stats()
+        assert cache.stats.randomizer_misses == 0
+        assert cache.stats.randomizer_hits >= 200
+
+    def test_rekey_on_sae_policy_invalidates_mapping_cache(self):
+        cache = MayaCache(experiment_maya(llc_sets=64, seed=9))
+        for addr in range(100):
+            cache.access(addr)
+        assert cache.tags.randomizer.cache_info().size > 0
+        cache.rekey()
+        assert cache.tags.randomizer.cache_info().size == 0
+        assert cache.tags.randomizer.cache_info().invalidations == 1
