@@ -90,6 +90,19 @@ class EvictedLine:
     was_reused: bool
 
 
+#: Bit flags returned by the allocation-free ``access_fast`` protocol.
+#: A packed engine returns an int combining these; when ``ACC_EVICTED``
+#: is set, the victim's identity is published in the engine's
+#: ``victim_addr`` / ``victim_core`` / ``victim_sdid`` /
+#: ``victim_reused`` instance fields, which stay valid only until the
+#: engine's next access - callers must read them immediately.
+ACC_HIT = 1
+ACC_EVICTED = 2
+ACC_EVICTED_DIRTY = 4
+ACC_TAG_HIT = 8
+ACC_SAE = 16
+
+
 @dataclass
 class AccessResult:
     """Outcome of a single cache access.

@@ -201,3 +201,178 @@ def make_policy(name: str, seed: Optional[int] = None) -> ReplacementPolicy:
     if name.lower() in ("random", "brrip", "drrip"):
         return cls(seed=seed)
     return cls()
+
+
+# ---------------------------------------------------------------------------
+# Packed policies: the struct-of-arrays engine's counterparts.
+#
+# The packed :class:`~repro.cache.set_assoc.SetAssociativeCache` keeps
+# per-line replacement state in one flat ``array('q')`` column instead
+# of ``CacheLine.repl_state``, so these policies take (column, flat
+# index) arguments rather than line lists.  Each packed policy is
+# draw-for-draw and decision-for-decision identical to its object-model
+# namesake above (the differential tests enforce this); the object
+# policies stay untouched because the reference engine and direct
+# policy-level tests still drive them with ``CacheLine`` lists.
+# ---------------------------------------------------------------------------
+
+
+class PackedLRUPolicy:
+    """LRU over the packed column (same monotone-clock scheme)."""
+
+    def __init__(self) -> None:
+        self._clock = 0
+
+    def on_hit(self, repl, idx: int) -> None:
+        self._clock += 1
+        repl[idx] = self._clock
+
+    def on_fill(self, repl, base: int, ways: int, idx: int) -> None:
+        self._clock += 1
+        repl[idx] = self._clock
+
+    def victim(self, repl, base: int, ways: int) -> int:
+        # Slice + min + index run at C speed; index() returns the first
+        # occurrence, matching the object policy's first-minimum scan.
+        window = repl[base : base + ways]
+        return base + window.index(min(window))
+
+
+class PackedRandomPolicy:
+    """Uniformly random victim (deterministic seed; same draw order)."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._rng = make_rng(seed)
+
+    def on_hit(self, repl, idx: int) -> None:
+        pass
+
+    def on_fill(self, repl, base: int, ways: int, idx: int) -> None:
+        pass
+
+    def victim(self, repl, base: int, ways: int) -> int:
+        return base + self._rng.randrange(ways)
+
+
+class PackedSRRIPPolicy:
+    """SRRIP over the packed column (RRPVs live in the column)."""
+
+    def __init__(self, rrpv_bits: int = 2) -> None:
+        if rrpv_bits < 1:
+            raise ValueError("RRPV needs at least one bit")
+        self._max = (1 << rrpv_bits) - 1
+
+    def on_hit(self, repl, idx: int) -> None:
+        repl[idx] = 0
+
+    def on_fill(self, repl, base: int, ways: int, idx: int) -> None:
+        repl[idx] = self._max - 1
+
+    def victim(self, repl, base: int, ways: int) -> int:
+        # RRPVs never exceed self._max, so the object policy's
+        # scan-then-age-all rounds collapse to one jump: age every line
+        # by (max - highest RRPV) and take the first line that was at
+        # the highest RRPV - identical victim and identical final RRPVs.
+        window = repl[base : base + ways]
+        m = max(window)
+        delta = self._max - m
+        if delta > 0:
+            for i in range(base, base + ways):
+                repl[i] += delta
+        return base + window.index(m)
+
+
+class PackedBRRIPPolicy(PackedSRRIPPolicy):
+    """Bimodal RRIP: one ``rng.random()`` draw per fill, as the object twin."""
+
+    def __init__(self, rrpv_bits: int = 2, long_probability: float = 1 / 32, seed: Optional[int] = None) -> None:
+        super().__init__(rrpv_bits)
+        if not 0.0 <= long_probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self._long_probability = long_probability
+        self._rng = make_rng(seed)
+
+    def on_fill(self, repl, base: int, ways: int, idx: int) -> None:
+        if self._rng.random() < self._long_probability:
+            repl[idx] = self._max - 1
+        else:
+            repl[idx] = self._max
+
+
+class PackedDRRIPPolicy(PackedSRRIPPolicy):
+    """Set-dueling DRRIP over the packed column.
+
+    Roles are keyed by the set's base index in the flat column instead
+    of ``id(cache_set)``; first-seen order - and therefore leader
+    assignment, PSEL trajectory, and every BRRIP draw - is identical to
+    the object policy under the same access sequence.
+    """
+
+    def __init__(
+        self,
+        rrpv_bits: int = 2,
+        long_probability: float = 1 / 32,
+        dueling_period: int = 32,
+        psel_bits: int = 10,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(rrpv_bits)
+        self._brrip = PackedBRRIPPolicy(rrpv_bits, long_probability, seed=seed)
+        self._dueling_period = dueling_period
+        self._psel_max = (1 << psel_bits) - 1
+        self._psel = self._psel_max // 2
+        #: set base index -> "srrip" | "brrip" | "follower"
+        self._roles: dict = {}
+        self._seen = 0
+
+    def _role_of(self, base: int) -> str:
+        role = self._roles.get(base)
+        if role is None:
+            slot = self._seen % (2 * self._dueling_period)
+            if slot == 0:
+                role = "srrip"
+            elif slot == self._dueling_period:
+                role = "brrip"
+            else:
+                role = "follower"
+            self._roles[base] = role
+            self._seen += 1
+        return role
+
+    def on_fill(self, repl, base: int, ways: int, idx: int) -> None:
+        role = self._role_of(base)
+        if role == "srrip":
+            self._psel = min(self._psel_max, self._psel + 1)
+            super().on_fill(repl, base, ways, idx)
+        elif role == "brrip":
+            self._psel = max(0, self._psel - 1)
+            self._brrip.on_fill(repl, base, ways, idx)
+        elif self._psel <= self._psel_max // 2:
+            super().on_fill(repl, base, ways, idx)
+        else:
+            self._brrip.on_fill(repl, base, ways, idx)
+
+    @property
+    def winning_team(self) -> str:
+        """Which insertion policy follower sets currently use."""
+        return "srrip" if self._psel <= self._psel_max // 2 else "brrip"
+
+
+_PACKED_POLICIES = {
+    "lru": PackedLRUPolicy,
+    "random": PackedRandomPolicy,
+    "srrip": PackedSRRIPPolicy,
+    "brrip": PackedBRRIPPolicy,
+    "drrip": PackedDRRIPPolicy,
+}
+
+
+def make_packed_policy(name: str, seed: Optional[int] = None):
+    """Construct a packed policy by name (same names as :func:`make_policy`)."""
+    try:
+        cls = _PACKED_POLICIES[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown replacement policy {name!r}; options: {sorted(_PACKED_POLICIES)}") from None
+    if name.lower() in ("random", "brrip", "drrip"):
+        return cls(seed=seed)
+    return cls()

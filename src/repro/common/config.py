@@ -82,9 +82,16 @@ class MirageConfig:
     rng_seed: Optional[int] = None
     #: "prince" (faithful) or "splitmix" (fast, perf experiments only).
     hash_algorithm: str = "prince"
+    #: Randomizer mapping-cache entries; ``None`` uses the library
+    #: default (:data:`repro.crypto.randomizer.DEFAULT_MEMO_CAPACITY`).
+    memo_capacity: Optional[int] = None
 
     def __post_init__(self) -> None:
         _require(self.skews >= 2, "Mirage needs at least two skews")
+        _require(
+            self.memo_capacity is None or self.memo_capacity > 0,
+            "mapping-cache capacity must be positive when given",
+        )
         _require(is_power_of_two(self.sets_per_skew), "sets per skew must be a power of two")
         _require(self.base_ways_per_skew > 0, "need at least one base way per skew")
         _require(self.extra_ways_per_skew >= 0, "extra ways cannot be negative")
@@ -134,9 +141,16 @@ class MayaConfig:
     rng_seed: Optional[int] = None
     #: "prince" (faithful) or "splitmix" (fast, perf experiments only).
     hash_algorithm: str = "prince"
+    #: Randomizer mapping-cache entries; ``None`` uses the library
+    #: default (:data:`repro.crypto.randomizer.DEFAULT_MEMO_CAPACITY`).
+    memo_capacity: Optional[int] = None
 
     def __post_init__(self) -> None:
         _require(self.skews >= 2, "Maya needs at least two skews")
+        _require(
+            self.memo_capacity is None or self.memo_capacity > 0,
+            "mapping-cache capacity must be positive when given",
+        )
         _require(is_power_of_two(self.sets_per_skew), "sets per skew must be a power of two")
         _require(self.base_ways_per_skew > 0, "need at least one base (priority-1) way per skew")
         _require(self.reuse_ways_per_skew > 0, "need at least one reuse (priority-0) way per skew")

@@ -22,23 +22,42 @@ sets have no invalid way; the provisioning (6 invalid ways per skew)
 makes this astronomically rare - Section IV quantifies it, and the
 ``on_sae`` policy here lets experiments count, raise on, or rekey
 after one.
+
+The hot path is :meth:`MayaCache.access_fast`, which works directly on
+the tag store's packed columns, returns an ``ACC_*`` flag int, and
+publishes any writeback through the ``victim_*`` instance fields - no
+per-access allocation.  The public :meth:`MayaCache.access` wraps it in
+the historical :class:`AccessResult` API.  Behaviour - including RNG
+draw order and every statistics counter - is bit-identical to the
+object-model reference in ``repro.reference.maya`` (enforced by the
+differential tests).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Dict, Optional
 
 from ..common.config import MayaConfig
 from ..common.errors import SetAssociativeEviction, SimulationError
 from ..common.rng import derive_seed, make_rng
-from ..cache.line import AccessResult, EvictedLine
+from ..cache.line import (
+    ACC_EVICTED,
+    ACC_EVICTED_DIRTY,
+    ACC_HIT,
+    ACC_SAE,
+    ACC_TAG_HIT,
+    AccessResult,
+    EvictedLine,
+)
 from ..cache.stats import CacheStats
 from .data_store import DataStore
 from .tag_store import NO_DATA, SkewedTagStore, TagState
 
 #: Extra LLC lookup cycles: 3 for the PRINCE cipher + 1 for indirection.
 SECURE_LOOKUP_EXTRA_CYCLES = 4
+
+_P0 = TagState.PRIORITY_0.value
+_P1 = TagState.PRIORITY_1.value
 
 
 class MayaCache:
@@ -81,20 +100,92 @@ class MayaCache:
         self._on_sae = on_sae
         self._global_tag_eviction = global_tag_eviction
         self.tags = SkewedTagStore(self.config)
+        # Resolve the skew-selection dispatch once (hot path), and bind
+        # the location-map probe (the tag store never replaces the dict).
+        self._pick_skew = (
+            self.tags.pick_skew_load_aware
+            if skew_policy == "load_aware"
+            else self.tags.pick_skew_random
+        )
+        self._tag_where_get = self.tags._where.get
         self.data = DataStore(self.config.data_entries, seed=derive_seed(self.config.rng_seed, 3))
         self._rng = make_rng(derive_seed(self.config.rng_seed, 4))
         self.stats = CacheStats()
+        self._p0_capacity = self.config.priority0_entries
         #: Mapping-cache counter snapshot taken at the last stats reset,
         #: so ``stats.randomizer_*`` report the measured window only.
         self._mapping_cache_base = (0, 0)
         self.installs = 0
         #: Recently tag-evicted priority-0 lines, for the premature-
-        #: eviction measurement (Section V-B): line -> True.
-        self._evicted_p0_window: "OrderedDict[tuple, bool]" = OrderedDict()
+        #: eviction measurement (Section V-B): line -> True.  A plain
+        #: dict is insertion-ordered, so FIFO eviction is
+        #: ``del window[next(iter(window))]``.
+        self._evicted_p0_window: Dict[tuple, bool] = {}
         self._evicted_p0_window_size = 4096
         self.premature_p0_evictions = 0
+        # Victim fields of the access_fast protocol (valid until the
+        # next access after a result with ACC_EVICTED set).
+        self.victim_addr = 0
+        self.victim_core = -1
+        self.victim_sdid = 0
+        self.victim_reused = False
 
     # -- public API --------------------------------------------------------
+
+    def access_fast(
+        self,
+        line_addr: int,
+        is_write: bool = False,
+        core_id: int = 0,
+        is_writeback: bool = False,
+        sdid: int = 0,
+    ) -> int:
+        """One LLC access with no allocation; returns ``ACC_*`` flags.
+
+        When ``ACC_EVICTED`` is set, the produced writeback is published
+        in the ``victim_*`` fields until the next access.  The secure
+        lookup adds the constant :data:`SECURE_LOOKUP_EXTRA_CYCLES` on
+        every access (the hierarchy accounts for it).
+        """
+        tags = self.tags
+        tag_idx = self._tag_where_get((line_addr << 16) | sdid)
+        st = self.stats
+        st.accesses += 1
+        if tag_idx is not None:
+            if tags._state[tag_idx] == _P1:
+                st.hits += 1
+                if is_writeback:
+                    st.writebacks_received += 1
+                    tags._dirty[tag_idx] = 1
+                else:
+                    st.demand_accesses += 1
+                    st.demand_hits += 1
+                    tags._reused[tag_idx] = 1
+                    if is_write:
+                        tags._dirty[tag_idx] = 1
+                return ACC_HIT
+            # Priority-0 tag hit: promotion (data itself is a miss).
+            st.misses += 1
+            if is_writeback:
+                st.writebacks_received += 1
+            else:
+                st.demand_accesses += 1
+                pcm = st.per_core_misses
+                pcm[core_id] = pcm.get(core_id, 0) + 1
+            st.tag_only_hits += 1
+            return ACC_TAG_HIT | self._promote(tag_idx, dirty=is_write or is_writeback, core_id=core_id)
+
+        # Tag miss.
+        st.misses += 1
+        if is_writeback:
+            st.writebacks_received += 1
+        else:
+            st.demand_accesses += 1
+            pcm = st.per_core_misses
+            pcm[core_id] = pcm.get(core_id, 0) + 1
+        if is_write or is_writeback:
+            return self._install_priority1(line_addr, sdid, core_id)
+        return self._install_priority0(line_addr, sdid, core_id)
 
     def access(
         self,
@@ -104,33 +195,29 @@ class MayaCache:
         is_writeback: bool = False,
         sdid: int = 0,
     ) -> AccessResult:
-        """One LLC access; returns hit/miss plus any writeback produced."""
-        tag_idx = self.tags.lookup(line_addr, sdid)
-        if tag_idx is not None:
-            entry = self.tags.entry(tag_idx)
-            if entry.state is TagState.PRIORITY_1:
-                if not is_writeback:
-                    entry.reused = True
-                if is_write or is_writeback:
-                    entry.dirty = True
-                self.stats.record_access(True, is_writeback, core_id)
-                return AccessResult(hit=True, extra_latency=self.extra_lookup_latency)
-            # Priority-0 tag hit: promotion (data itself is a miss).
-            self.stats.record_access(False, is_writeback, core_id)
-            self.stats.tag_only_hits += 1
-            evicted = self._promote(tag_idx, dirty=is_write or is_writeback, core_id=core_id)
-            return AccessResult(
-                hit=False, tag_hit=True, evicted=evicted, extra_latency=self.extra_lookup_latency
-            )
+        """One LLC access; returns hit/miss plus any writeback produced.
 
-        # Tag miss.
-        self.stats.record_access(False, is_writeback, core_id)
-        if is_write or is_writeback:
-            evicted = self._install_priority1(line_addr, sdid, core_id)
-        else:
-            evicted = self._install_priority0(line_addr, sdid, core_id)
+        Boundary wrapper over :meth:`access_fast` returning the
+        historical :class:`AccessResult` dataclass.
+        """
+        flags = self.access_fast(line_addr, is_write, core_id, is_writeback, sdid)
+        if flags & ACC_HIT:
+            return AccessResult(hit=True, extra_latency=self.extra_lookup_latency)
+        evicted = None
+        if flags & ACC_EVICTED:
+            evicted = EvictedLine(
+                line_addr=self.victim_addr,
+                dirty=bool(flags & ACC_EVICTED_DIRTY),
+                core_id=self.victim_core,
+                sdid=self.victim_sdid,
+                was_reused=self.victim_reused,
+            )
         return AccessResult(
-            hit=False, evicted=evicted, sae=self._last_access_sae, extra_latency=self.extra_lookup_latency
+            hit=False,
+            tag_hit=bool(flags & ACC_TAG_HIT),
+            evicted=evicted,
+            sae=bool(flags & ACC_SAE),
+            extra_latency=self.extra_lookup_latency,
         )
 
     def invalidate(self, line_addr: int, sdid: int = 0) -> Optional[EvictedLine]:
@@ -138,14 +225,25 @@ class MayaCache:
         tag_idx = self.tags.lookup(line_addr, sdid)
         if tag_idx is None:
             return None
-        return self._drop_tag(tag_idx, filler_core=-1)
+        flags = self._drop_tag(tag_idx, filler_core=-1)
+        if flags & ACC_EVICTED:
+            return EvictedLine(
+                line_addr=self.victim_addr,
+                dirty=bool(flags & ACC_EVICTED_DIRTY),
+                core_id=self.victim_core,
+                sdid=self.victim_sdid,
+                was_reused=self.victim_reused,
+            )
+        return None
 
     def flush_all(self) -> int:
         """Invalidate every valid tag (and its data); returns count."""
         dropped = 0
-        for tag_idx, _ in list(self.tags.iter_valid()):
-            self._drop_tag(tag_idx, filler_core=-1)
-            dropped += 1
+        state = self.tags._state
+        for tag_idx in range(len(state)):
+            if state[tag_idx]:
+                self._drop_tag(tag_idx, filler_core=-1)
+                dropped += 1
         return dropped
 
     def reset_stats(self) -> None:
@@ -177,7 +275,7 @@ class MayaCache:
     def contains(self, line_addr: int, sdid: int = 0) -> bool:
         """Is the line resident *with data* (priority-1)?"""
         tag_idx = self.tags.lookup(line_addr, sdid)
-        return tag_idx is not None and self.tags.entry(tag_idx).state is TagState.PRIORITY_1
+        return tag_idx is not None and self.tags._state[tag_idx] == _P1
 
     def contains_tag(self, line_addr: int, sdid: int = 0) -> bool:
         """Is the line's tag resident at either priority?"""
@@ -185,103 +283,156 @@ class MayaCache:
 
     # -- internal operations ---------------------------------------------------
 
-    _last_access_sae = False
-
-    def _promote(self, tag_idx: int, dirty: bool, core_id: int) -> Optional[EvictedLine]:
+    def _promote(self, tag_idx: int, dirty: bool, core_id: int) -> int:
         """Upgrade a priority-0 tag; may trigger global random data eviction."""
-        self._last_access_sae = False
-        evicted = None
+        flags = 0
         if self.data.full:
-            evicted = self._global_random_data_eviction(filler_core=core_id)
+            flags = self._global_random_data_eviction(filler_core=core_id)
         fptr = self.data.allocate(tag_idx)
-        self.tags.promote(tag_idx, fptr, dirty)
-        entry = self.tags.entry(tag_idx)
-        entry.core_id = core_id
-        entry.reused = False
+        tags = self.tags
+        tags.promote(tag_idx, fptr, dirty)
+        tags._core[tag_idx] = core_id
+        tags._reused[tag_idx] = 0
         self.stats.data_fills += 1
-        return evicted
+        return flags
 
-    def _global_random_data_eviction(self, filler_core: int) -> Optional[EvictedLine]:
+    def _global_random_data_eviction(self, filler_core: int) -> int:
         """Evict a uniformly random data entry, demoting its tag."""
         victim_data = self.data.random_victim()
-        victim_tag_idx = self.data.entry(victim_data).rptr
-        victim = self.tags.entry(victim_tag_idx)
-        if victim.state is not TagState.PRIORITY_1:
+        victim_tag_idx = self.data.rptr_of(victim_data)
+        tags = self.tags
+        if tags._state[victim_tag_idx] != _P1:
             raise SimulationError("data entry points at a non-priority-1 tag")
-        writeback = EvictedLine(
-            line_addr=victim.line_addr,
-            dirty=victim.dirty,
-            core_id=victim.core_id,
-            sdid=victim.sdid,
-            was_reused=victim.reused,
-        )
-        self.stats.record_eviction(
-            dirty=victim.dirty,
-            was_reused=victim.reused,
-            cross_core=victim.core_id >= 0 and victim.core_id != filler_core,
-        )
+        dirty = tags._dirty[victim_tag_idx]
+        reused = tags._reused[victim_tag_idx]
+        core = tags._core[victim_tag_idx]
+        self.victim_addr = tags._addr[victim_tag_idx]
+        self.victim_core = core
+        self.victim_sdid = tags._sdid[victim_tag_idx]
+        self.victim_reused = bool(reused)
+        st = self.stats
+        st.evictions += 1
+        if dirty:
+            st.dirty_evictions += 1
+        if not reused:
+            st.dead_evictions += 1
+        if core >= 0 and core != filler_core:
+            st.interference_evictions += 1
         self.data.free(victim_data)
-        self.tags.demote(victim_tag_idx)
-        return writeback
+        tags.demote(victim_tag_idx)
+        return ACC_EVICTED | ACC_EVICTED_DIRTY if dirty else ACC_EVICTED
 
-    def _install_priority0(self, line_addr: int, sdid: int, core_id: int) -> Optional[EvictedLine]:
-        """Demand tag miss: fill a tag-only entry (Fig. 5a events)."""
-        self._last_access_sae = False
+    def _install_priority0(self, line_addr: int, sdid: int, core_id: int) -> int:
+        """Demand tag miss: fill a tag-only entry (Fig. 5a events).
+
+        This is the dominant miss path, so the tag-store operations
+        (install, random priority-0 pick, invalidate) are inlined here;
+        each is behaviourally identical to the ``SkewedTagStore`` method
+        of the same name (the differential tests enforce it).
+        """
         self.installs += 1
-        self._note_demand_miss(line_addr, sdid)
-        writeback = None
+        if self._evicted_p0_window.pop((line_addr, sdid), None):
+            self.premature_p0_evictions += 1
+        flags = 0
+        tags = self.tags
+        ways = tags._ways
+        state = tags._state
         skew, set_idx = self._pick_skew(line_addr, sdid)
-        slot = self.tags.find_invalid_way(skew, set_idx)
-        if slot is None:
-            writeback = self._handle_sae(skew, set_idx)
-            slot = self.tags.find_invalid_way(skew, set_idx)
-            if slot is None:
+        base = (skew * tags._sets + set_idx) * ways
+        slot = state.find(0, base, base + ways)
+        if slot < 0:
+            flags = self._handle_sae(skew, set_idx)
+            slot = state.find(0, base, base + ways)
+            if slot < 0:
                 raise SimulationError("no invalid way even after SAE handling")
-        self.tags.install(slot, line_addr, sdid, core_id, priority1=False)
+        # install(slot, ..., priority1=False), inlined.
+        tags._addr[slot] = line_addr
+        tags._sdid[slot] = sdid
+        tags._core[slot] = core_id
+        tags._dirty[slot] = 0
+        tags._reused[slot] = 0
+        state[slot] = _P0
+        tags._fptr[slot] = NO_DATA
+        pool = tags._p0_pool
+        tags._p0_pos[slot] = len(pool)
+        pool.append(slot)
+        tags._valid_count[slot // ways] += 1
+        tags._where[(line_addr << 16) | sdid] = slot
         self.stats.fills += 1
-        if self._global_tag_eviction and self.tags.priority0_count > self.config.priority0_entries:
-            self._global_random_tag_eviction(exclude=slot)
-        return writeback
+        n = len(pool)
+        if self._global_tag_eviction and n > self._p0_capacity:
+            # Global random tag eviction, inlined: random_priority0
+            # (excluding the fresh install) + invalidate_fast.
+            if n == 1:
+                raise SimulationError("priority-0 pool over capacity but empty")
+            i = tags._randbelow(n)
+            victim = pool[i]
+            if victim == slot:
+                victim = pool[(i + 1) % n]
+            victim_addr = tags._addr[victim]
+            victim_sdid = tags._sdid[victim]
+            window = self._evicted_p0_window
+            window[(victim_addr, victim_sdid)] = True
+            if len(window) > self._evicted_p0_window_size:
+                del window[next(iter(window))]
+            pos = tags._p0_pos.pop(victim)
+            last = pool.pop()
+            if last != victim:
+                pool[pos] = last
+                tags._p0_pos[last] = pos
+            tags._valid_count[victim // ways] -= 1
+            del tags._where[(victim_addr << 16) | victim_sdid]
+            state[victim] = 0
+            self.stats.tag_evictions += 1
+        return flags
 
-    def _install_priority1(self, line_addr: int, sdid: int, core_id: int) -> Optional[EvictedLine]:
+    def _install_priority1(self, line_addr: int, sdid: int, core_id: int) -> int:
         """Write/writeback tag miss: fill tag + data (Fig. 5c events)."""
-        self._last_access_sae = False
         self.installs += 1
-        writeback = None
+        flags = 0
         if self.data.full:
-            writeback = self._global_random_data_eviction(filler_core=core_id)
+            flags = self._global_random_data_eviction(filler_core=core_id)
+        tags = self.tags
         skew, set_idx = self._pick_skew(line_addr, sdid)
-        slot = self.tags.find_invalid_way(skew, set_idx)
-        if slot is None:
-            sae_wb = self._handle_sae(skew, set_idx)
-            writeback = writeback or sae_wb
-            slot = self.tags.find_invalid_way(skew, set_idx)
-            if slot is None:
+        base = (skew * tags._sets + set_idx) * tags._ways
+        slot = tags._state.find(0, base, base + tags._ways)
+        if slot < 0:
+            if flags & ACC_EVICTED:
+                # The data-eviction writeback wins over the SAE's: keep
+                # its victim fields, take only the SAE marker.
+                va = self.victim_addr
+                vc = self.victim_core
+                vs = self.victim_sdid
+                vr = self.victim_reused
+                flags |= self._handle_sae(skew, set_idx) & ACC_SAE
+                self.victim_addr = va
+                self.victim_core = vc
+                self.victim_sdid = vs
+                self.victim_reused = vr
+            else:
+                flags = self._handle_sae(skew, set_idx)
+            slot = tags._state.find(0, base, base + tags._ways)
+            if slot < 0:
                 raise SimulationError("no invalid way even after SAE handling")
         fptr = self.data.allocate(slot)
-        self.tags.install(slot, line_addr, sdid, core_id, priority1=True, dirty=True, fptr=fptr)
+        tags.install(slot, line_addr, sdid, core_id, priority1=True, dirty=True, fptr=fptr)
         self.stats.fills += 1
         self.stats.data_fills += 1
-        if self._global_tag_eviction and self.tags.priority0_count > self.config.priority0_entries:
+        if self._global_tag_eviction and tags.priority0_count > self.config.priority0_entries:
             self._global_random_tag_eviction(exclude=slot)
-        return writeback
-
-    def _pick_skew(self, line_addr: int, sdid: int):
-        if self._skew_policy == "load_aware":
-            return self.tags.pick_skew_load_aware(line_addr, sdid)
-        return self.tags.pick_skew_random(line_addr, sdid)
+        return flags
 
     def _global_random_tag_eviction(self, exclude: int) -> None:
         """Invalidate a random priority-0 tag anywhere in the cache."""
         victim_idx = self.tags.random_priority0(exclude=exclude)
         if victim_idx is None:
             raise SimulationError("priority-0 pool over capacity but empty")
-        victim = self.tags.entry(victim_idx)
-        self._remember_evicted_p0(victim.line_addr, victim.sdid)
-        self.tags.invalidate(victim_idx)
+        tags = self.tags
+        self._remember_evicted_p0(tags._addr[victim_idx], tags._sdid[victim_idx])
+        tags.invalidate_fast(victim_idx)
         self.stats.tag_evictions += 1
 
-    def _handle_sae(self, skew: int, set_idx: int) -> Optional[EvictedLine]:
+    def _handle_sae(self, skew: int, set_idx: int) -> int:
         """Both mapped sets full: a set-associative eviction happens."""
         self.stats.saes += 1
         if self._on_sae == "raise":
@@ -290,55 +441,52 @@ class MayaCache:
             )
         if self._on_sae == "rekey":
             self.rekey()
-            self._last_access_sae = True
-            return None
+            return ACC_SAE
         # Evict a random valid way from the conflicting set, preferring a
         # priority-0 victim (it frees a slot without touching the data store).
-        self._last_access_sae = True
-        base = self.tags.tag_index(skew, set_idx, 0)
-        p0_ways = [
-            base + way
-            for way in range(self.config.ways_per_skew)
-            if self.tags.entry(base + way).state is TagState.PRIORITY_0
-        ]
+        tags = self.tags
+        base = tags.tag_index(skew, set_idx, 0)
+        state = tags._state
+        ways = self.config.ways_per_skew
+        p0_ways = [base + way for way in range(ways) if state[base + way] == _P0]
         if p0_ways:
             victim_idx = p0_ways[self._rng.randrange(len(p0_ways))]
         else:
-            victim_idx = base + self._rng.randrange(self.config.ways_per_skew)
-        return self._drop_tag(victim_idx, filler_core=-1)
+            victim_idx = base + self._rng.randrange(ways)
+        return ACC_SAE | self._drop_tag(victim_idx, filler_core=-1)
 
-    def _drop_tag(self, tag_idx: int, filler_core: int) -> Optional[EvictedLine]:
+    def _drop_tag(self, tag_idx: int, filler_core: int) -> int:
         """Invalidate a tag at either priority, freeing data if present."""
-        entry = self.tags.entry(tag_idx)
-        writeback = None
-        if entry.state is TagState.PRIORITY_1:
-            writeback = EvictedLine(
-                line_addr=entry.line_addr,
-                dirty=entry.dirty,
-                core_id=entry.core_id,
-                sdid=entry.sdid,
-                was_reused=entry.reused,
-            )
-            self.stats.record_eviction(
-                dirty=entry.dirty,
-                was_reused=entry.reused,
-                cross_core=entry.core_id >= 0 and filler_core >= 0 and entry.core_id != filler_core,
-            )
-            self.data.free(entry.fptr)
-        self.tags.invalidate(tag_idx)
-        return writeback
+        tags = self.tags
+        flags = 0
+        if tags._state[tag_idx] == _P1:
+            dirty = tags._dirty[tag_idx]
+            reused = tags._reused[tag_idx]
+            core = tags._core[tag_idx]
+            self.victim_addr = tags._addr[tag_idx]
+            self.victim_core = core
+            self.victim_sdid = tags._sdid[tag_idx]
+            self.victim_reused = bool(reused)
+            st = self.stats
+            st.evictions += 1
+            if dirty:
+                st.dirty_evictions += 1
+            if not reused:
+                st.dead_evictions += 1
+            if core >= 0 and filler_core >= 0 and core != filler_core:
+                st.interference_evictions += 1
+            self.data.free(tags._fptr[tag_idx])
+            flags = ACC_EVICTED | ACC_EVICTED_DIRTY if dirty else ACC_EVICTED
+        tags.invalidate_fast(tag_idx)
+        return flags
 
     # -- premature priority-0 eviction tracking (Section V-B) ----------------
 
     def _remember_evicted_p0(self, line_addr: int, sdid: int) -> None:
-        key = (line_addr, sdid)
-        self._evicted_p0_window[key] = True
-        if len(self._evicted_p0_window) > self._evicted_p0_window_size:
-            self._evicted_p0_window.popitem(last=False)
-
-    def _note_demand_miss(self, line_addr: int, sdid: int) -> None:
-        if self._evicted_p0_window.pop((line_addr, sdid), None):
-            self.premature_p0_evictions += 1
+        window = self._evicted_p0_window
+        window[(line_addr, sdid)] = True
+        if len(window) > self._evicted_p0_window_size:
+            del window[next(iter(window))]
 
     # -- introspection ---------------------------------------------------------
 
@@ -350,17 +498,23 @@ class MayaCache:
     def occupancy_by_core(self) -> Dict[int, int]:
         """Priority-1 entry counts keyed by owning core."""
         counts: Dict[int, int] = {}
-        for _, entry in self.tags.iter_valid():
-            if entry.state is TagState.PRIORITY_1:
-                counts[entry.core_id] = counts.get(entry.core_id, 0) + 1
+        tags = self.tags
+        state = tags._state
+        core = tags._core
+        for idx in range(len(state)):
+            if state[idx] == _P1:
+                counts[core[idx]] = counts.get(core[idx], 0) + 1
         return counts
 
     def occupancy_by_domain(self) -> Dict[int, int]:
         """Priority-1 entry counts keyed by SDID."""
         counts: Dict[int, int] = {}
-        for _, entry in self.tags.iter_valid():
-            if entry.state is TagState.PRIORITY_1:
-                counts[entry.sdid] = counts.get(entry.sdid, 0) + 1
+        tags = self.tags
+        state = tags._state
+        sdid = tags._sdid
+        for idx in range(len(state)):
+            if state[idx] == _P1:
+                counts[sdid[idx]] = counts.get(sdid[idx], 0) + 1
         return counts
 
     def check_invariants(self) -> None:

@@ -1,4 +1,4 @@
-"""Maya's skewed-associative, decoupled tag store.
+"""Maya's skewed-associative, decoupled tag store (packed SoA).
 
 The tag store is the heart of the design (Section III).  It is split
 into two skews, each with an independent PRINCE-based hash.  Every tag
@@ -15,21 +15,35 @@ The store also maintains the two global indices the eviction policies
 need in O(1): the pool of priority-0 entries (victims of *global random
 tag eviction*) and per-set invalid-way counts (for *load-aware skew
 selection*).
+
+Storage layout: the entries live in parallel packed columns (state /
+line address / SDID / core / FPTR arrays plus dirty / reused byte
+columns) indexed by the flat tag index, not in a ``List[TagEntry]``.
+:meth:`SkewedTagStore.entry` returns a write-through
+:class:`TagEntryView` over the columns so introspection code and tests
+keep the historical object API; the Maya engine reads the columns
+directly.  Behaviour - including RNG draw order - is identical to the
+object-model reference in ``repro.reference.tag_store``.
 """
 
 from __future__ import annotations
 
 import enum
+from array import array
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..common.config import MayaConfig
 from ..common.errors import SimulationError
 from ..common.rng import derive_seed, make_rng
-from ..crypto.randomizer import IndexRandomizer
+from ..crypto.randomizer import DEFAULT_MEMO_CAPACITY, IndexRandomizer
 
 #: FPTR value meaning "no data entry" (priority-0 / invalid tags).
 NO_DATA = -1
+
+#: Width of the SDID lane in the packed (line, SDID) location key;
+#: MayaConfig validates ``sdid_bits <= 16`` so the lane never overflows.
+_SDID_SHIFT = 16
 
 
 class TagState(enum.Enum):
@@ -40,13 +54,22 @@ class TagState(enum.Enum):
     PRIORITY_1 = 2
 
 
+#: Byte value -> enum member, for the packed state column.
+_TAG_STATES = (TagState.INVALID, TagState.PRIORITY_0, TagState.PRIORITY_1)
+_INVALID = 0
+_P0 = 1
+_P1 = 2
+
+
 @dataclass
 class TagEntry:
-    """One tag-store entry.
+    """One tag-store entry, as a plain value object.
 
-    ``dirty`` only has meaning for priority-1 entries (a tag-only entry
-    has no data to be dirty).  ``reused`` supports the dead-block
-    accounting of Fig. 1.
+    The packed store returns these as *snapshots* (e.g. from
+    :meth:`SkewedTagStore.invalidate`); live per-slot access goes
+    through :class:`TagEntryView`.  ``dirty`` only has meaning for
+    priority-1 entries (a tag-only entry has no data to be dirty).
+    ``reused`` supports the dead-block accounting of Fig. 1.
     """
 
     state: TagState = TagState.INVALID
@@ -71,6 +94,80 @@ class TagEntry:
         self.fptr = NO_DATA
 
 
+class TagEntryView:
+    """Write-through view of one packed tag slot.
+
+    Reads and writes go straight to the store's columns, so the view
+    behaves like the historical ``TagEntry`` object for introspection
+    (``entry.state is TagState.PRIORITY_1`` etc.).  Structural fields
+    (state, FPTR, address) are read-only here: changing them requires
+    the store's bookkeeping (pools, counters), so only the mutators on
+    :class:`SkewedTagStore` may do that.
+    """
+
+    __slots__ = ("_store", "_idx")
+
+    def __init__(self, store: "SkewedTagStore", idx: int):
+        self._store = store
+        self._idx = idx
+
+    @property
+    def state(self) -> TagState:
+        return _TAG_STATES[self._store._state[self._idx]]
+
+    @property
+    def line_addr(self) -> int:
+        return self._store._addr[self._idx]
+
+    @property
+    def sdid(self) -> int:
+        return self._store._sdid[self._idx]
+
+    @property
+    def core_id(self) -> int:
+        return self._store._core[self._idx]
+
+    @core_id.setter
+    def core_id(self, value: int) -> None:
+        self._store._core[self._idx] = value
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self._store._dirty[self._idx])
+
+    @dirty.setter
+    def dirty(self, value: bool) -> None:
+        self._store._dirty[self._idx] = 1 if value else 0
+
+    @property
+    def reused(self) -> bool:
+        return bool(self._store._reused[self._idx])
+
+    @reused.setter
+    def reused(self, value: bool) -> None:
+        self._store._reused[self._idx] = 1 if value else 0
+
+    @property
+    def fptr(self) -> int:
+        return self._store._fptr[self._idx]
+
+    @property
+    def valid(self) -> bool:
+        return self._store._state[self._idx] != _INVALID
+
+    def snapshot(self) -> TagEntry:
+        """A detached :class:`TagEntry` copy of the slot's contents."""
+        return TagEntry(
+            state=self.state,
+            line_addr=self.line_addr,
+            sdid=self.sdid,
+            core_id=self.core_id,
+            dirty=self.dirty,
+            reused=self.reused,
+            fptr=self.fptr,
+        )
+
+
 class SkewedTagStore:
     """The two-skew tag array plus the global bookkeeping indices.
 
@@ -89,19 +186,37 @@ class SkewedTagStore:
             config.sets_per_skew,
             seed=derive_seed(config.rng_seed, 1),
             algorithm=config.hash_algorithm,
+            memo_capacity=(
+                config.memo_capacity if config.memo_capacity is not None else DEFAULT_MEMO_CAPACITY
+            ),
         )
         self._rng = make_rng(derive_seed(config.rng_seed, 2))
+        # random.randrange(n) is a thin argument-checking wrapper over
+        # _randbelow(n); calling the latter directly draws the identical
+        # value from the identical stream, minus the wrapper cost.
+        self._randbelow = self._rng._randbelow
+        # Memoized per-skew index lookup, bound once (the randomizer's
+        # rekey clears its memo in place, so the binding stays valid).
+        self._indices_of = self.randomizer._lookup
         total = config.tag_entries
-        self._entries: List[TagEntry] = [TagEntry() for _ in range(total)]
+        self._state = bytearray(total)
+        self._addr = array("Q", bytes(8 * total))
+        self._sdid = array("i", bytes(4 * total))
+        self._core = array("i", b"\xff\xff\xff\xff" * total)  # -1 everywhere
+        self._dirty = bytearray(total)
+        self._reused = bytearray(total)
+        self._fptr = array("q", [NO_DATA]) * total
         #: Valid entries per (skew, set), for load-aware skew selection.
-        self._valid_count: List[List[int]] = [[0] * self._sets for _ in range(self._skews)]
+        #: Flat list indexed ``skew * sets + set_idx`` (== tag_idx // ways),
+        #: so the per-access update is a single divide.
+        self._valid_count: List[int] = [0] * (self._skews * self._sets)
         # Priority-0 pool with O(1) random removal: list + position map.
         self._p0_pool: List[int] = []
         self._p0_pos: dict = {}
         self.priority1_count = 0
-        #: (line_addr, sdid) -> tag index, for O(1) lookups.  The
-        #: hardware does a 2-set associative probe; this map is a pure
-        #: simulation speedup and is cross-checked by check_invariants().
+        #: packed (line_addr, sdid) key -> tag index, for O(1) lookups.
+        #: The hardware does a 2-set associative probe; this map is a
+        #: pure simulation speedup, cross-checked by check_invariants().
         self._where: dict = {}
 
     # -- index arithmetic --------------------------------------------------
@@ -115,8 +230,8 @@ class SkewedTagStore:
         skew, set_idx = divmod(set_way, self._sets)
         return skew, set_idx, way
 
-    def entry(self, tag_idx: int) -> TagEntry:
-        return self._entries[tag_idx]
+    def entry(self, tag_idx: int) -> TagEntryView:
+        return TagEntryView(self, tag_idx)
 
     # -- priority-0 pool -----------------------------------------------------
 
@@ -136,16 +251,26 @@ class SkewedTagStore:
             self._p0_pos[last] = pos
 
     def random_priority0(self, exclude: Optional[int] = None) -> Optional[int]:
-        """A uniformly random priority-0 tag index, optionally excluding one."""
+        """A uniformly random priority-0 tag index, optionally excluding one.
+
+        Exactly one RNG draw when the pool is non-trivial: a draw that
+        lands on ``exclude`` takes the next pool slot (cyclically)
+        instead of re-drawing.  A rejection loop would make the *number*
+        of draws data-dependent, so identical seeds could diverge after
+        a rare collision; the index shift keeps the draw count fixed
+        while staying uniform over the other entries.
+        """
         pool = self._p0_pool
-        if not pool:
+        n = len(pool)
+        if not n:
             return None
-        if exclude is not None and exclude in self._p0_pos and len(pool) == 1:
+        if exclude is not None and n == 1 and pool[0] == exclude:
             return None
-        while True:
-            candidate = pool[self._rng.randrange(len(pool))]
-            if candidate != exclude:
-                return candidate
+        i = self._randbelow(n)
+        candidate = pool[i]
+        if candidate == exclude:
+            candidate = pool[(i + 1) % n]
+        return candidate
 
     # -- lookup ---------------------------------------------------------------
 
@@ -156,17 +281,20 @@ class SkewedTagStore:
         part of the match so different domains never share an entry);
         implemented as an O(1) map lookup for simulation speed.
         """
-        return self._where.get((line_addr, sdid))
+        return self._where.get((line_addr << _SDID_SHIFT) | sdid)
 
     def lookup_associative(self, line_addr: int, sdid: int = 0) -> Optional[int]:
         """The literal two-set probe; used to validate :meth:`lookup`."""
         indices = self.randomizer.all_indices(line_addr, sdid)
+        state = self._state
+        addr = self._addr
+        sdids = self._sdid
         for skew in range(self._skews):
             base = self.tag_index(skew, indices[skew], 0)
             for way in range(self._ways):
-                entry = self._entries[base + way]
-                if entry.valid and entry.line_addr == line_addr and entry.sdid == sdid:
-                    return base + way
+                idx = base + way
+                if state[idx] and addr[idx] == line_addr and sdids[idx] == sdid:
+                    return idx
         return None
 
     # -- insertion ---------------------------------------------------------------
@@ -177,8 +305,34 @@ class SkewedTagStore:
         Returns ``(skew, set_idx)``.  Ties break uniformly at random, as
         in Mirage.
         """
-        indices = self.randomizer.all_indices(line_addr, sdid)
-        loads = [self._valid_count[s][indices[s]] for s in range(self._skews)]
+        # Randomizer memo lookup, inlined from IndexRandomizer._lookup
+        # (this is the hottest call on the install path; same LRU
+        # discipline and counter updates).
+        rand = self.randomizer
+        memo = rand._memo
+        key = (line_addr, sdid)
+        indices = memo.pop(key, None)
+        if indices is None:
+            rand.cache_misses += 1
+            indices = rand._raw_indices(line_addr, sdid)
+            if len(memo) >= rand._memo_capacity:
+                del memo[next(iter(memo))]
+        else:
+            rand.cache_hits += 1
+        memo[key] = indices
+        vc = self._valid_count
+        if self._skews == 2:
+            i0 = indices[0]
+            i1 = indices[1]
+            l0 = vc[i0]
+            l1 = vc[self._sets + i1]
+            if l0 < l1:
+                return 0, i0
+            if l1 < l0:
+                return 1, i1
+            skew = self._randbelow(2)
+            return (1, i1) if skew else (0, i0)
+        loads = [vc[s * self._sets + indices[s]] for s in range(self._skews)]
         best = min(loads)
         candidates = [s for s, load in enumerate(loads) if load == best]
         skew = candidates[self._rng.randrange(len(candidates))] if len(candidates) > 1 else candidates[0]
@@ -186,16 +340,14 @@ class SkewedTagStore:
 
     def pick_skew_random(self, line_addr: int, sdid: int = 0) -> Tuple[int, int]:
         """Random skew selection (the insecure alternative; ablation)."""
-        indices = self.randomizer.all_indices(line_addr, sdid)
+        indices = self._indices_of(line_addr, sdid)
         skew = self._rng.randrange(self._skews)
         return skew, indices[skew]
 
     def find_invalid_way(self, skew: int, set_idx: int) -> Optional[int]:
-        base = self.tag_index(skew, set_idx, 0)
-        for way in range(self._ways):
-            if not self._entries[base + way].valid:
-                return base + way
-        return None
+        base = (skew * self._sets + set_idx) * self._ways
+        idx = self._state.find(_INVALID, base, base + self._ways)
+        return None if idx < 0 else idx
 
     def install(
         self,
@@ -208,82 +360,106 @@ class SkewedTagStore:
         fptr: int = NO_DATA,
     ) -> None:
         """Fill an invalid entry as priority-0 or priority-1."""
-        entry = self._entries[tag_idx]
-        if entry.valid:
+        if self._state[tag_idx]:
             raise SimulationError("installing over a valid tag entry")
-        entry.line_addr = line_addr
-        entry.sdid = sdid
-        entry.core_id = core_id
-        entry.dirty = dirty
-        entry.reused = False
+        self._addr[tag_idx] = line_addr
+        self._sdid[tag_idx] = sdid
+        self._core[tag_idx] = core_id
+        self._dirty[tag_idx] = 1 if dirty else 0
+        self._reused[tag_idx] = 0
         if priority1:
-            entry.state = TagState.PRIORITY_1
-            entry.fptr = fptr
+            self._state[tag_idx] = _P1
+            self._fptr[tag_idx] = fptr
             self.priority1_count += 1
         else:
-            entry.state = TagState.PRIORITY_0
-            entry.fptr = NO_DATA
+            self._state[tag_idx] = _P0
+            self._fptr[tag_idx] = NO_DATA
             self._p0_add(tag_idx)
-        skew, set_idx, _ = self.locate(tag_idx)
-        self._valid_count[skew][set_idx] += 1
-        self._where[(line_addr, sdid)] = tag_idx
+        self._valid_count[tag_idx // self._ways] += 1
+        self._where[(line_addr << _SDID_SHIFT) | sdid] = tag_idx
 
     def promote(self, tag_idx: int, fptr: int, dirty: bool) -> None:
         """Priority-0 -> priority-1 on a reuse hit (Fig. 3)."""
-        entry = self._entries[tag_idx]
-        if entry.state is not TagState.PRIORITY_0:
+        if self._state[tag_idx] != _P0:
             raise SimulationError("can only promote a priority-0 entry")
-        entry.state = TagState.PRIORITY_1
-        entry.fptr = fptr
-        entry.dirty = dirty
+        self._state[tag_idx] = _P1
+        self._fptr[tag_idx] = fptr
+        self._dirty[tag_idx] = 1 if dirty else 0
         self._p0_remove(tag_idx)
         self.priority1_count += 1
 
     def demote(self, tag_idx: int) -> None:
         """Priority-1 -> priority-0 on global random data eviction."""
-        entry = self._entries[tag_idx]
-        if entry.state is not TagState.PRIORITY_1:
+        if self._state[tag_idx] != _P1:
             raise SimulationError("can only demote a priority-1 entry")
-        entry.state = TagState.PRIORITY_0
-        entry.fptr = NO_DATA
-        entry.dirty = False
+        self._state[tag_idx] = _P0
+        self._fptr[tag_idx] = NO_DATA
+        self._dirty[tag_idx] = 0
         self._p0_add(tag_idx)
         self.priority1_count -= 1
 
     def invalidate(self, tag_idx: int) -> TagEntry:
         """Drop a tag entry entirely; returns a copy of the old contents."""
-        entry = self._entries[tag_idx]
-        if not entry.valid:
+        state = self._state[tag_idx]
+        if not state:
             raise SimulationError("invalidating an already-invalid tag")
+        line_addr = self._addr[tag_idx]
+        sdid = self._sdid[tag_idx]
         old = TagEntry(
-            state=entry.state,
-            line_addr=entry.line_addr,
-            sdid=entry.sdid,
-            core_id=entry.core_id,
-            dirty=entry.dirty,
-            reused=entry.reused,
-            fptr=entry.fptr,
+            state=_TAG_STATES[state],
+            line_addr=line_addr,
+            sdid=sdid,
+            core_id=self._core[tag_idx],
+            dirty=bool(self._dirty[tag_idx]),
+            reused=bool(self._reused[tag_idx]),
+            fptr=self._fptr[tag_idx],
         )
-        if entry.state is TagState.PRIORITY_0:
+        if state == _P0:
             self._p0_remove(tag_idx)
         else:
             self.priority1_count -= 1
-        skew, set_idx, _ = self.locate(tag_idx)
-        self._valid_count[skew][set_idx] -= 1
-        del self._where[(entry.line_addr, entry.sdid)]
-        entry.invalidate()
+        self._valid_count[tag_idx // self._ways] -= 1
+        del self._where[(line_addr << _SDID_SHIFT) | sdid]
+        self._state[tag_idx] = _INVALID
+        self._addr[tag_idx] = 0
+        self._sdid[tag_idx] = 0
+        self._core[tag_idx] = -1
+        self._dirty[tag_idx] = 0
+        self._reused[tag_idx] = 0
+        self._fptr[tag_idx] = NO_DATA
         return old
+
+    def invalidate_fast(self, tag_idx: int) -> None:
+        """:meth:`invalidate` without materializing the old contents.
+
+        The Maya engine reads whatever victim fields it needs from the
+        columns *before* calling this, so the snapshot would be wasted
+        allocation on the hot path.
+        """
+        state = self._state[tag_idx]
+        if not state:
+            raise SimulationError("invalidating an already-invalid tag")
+        if state == _P0:
+            self._p0_remove(tag_idx)
+        else:
+            self.priority1_count -= 1
+        self._valid_count[tag_idx // self._ways] -= 1
+        del self._where[(self._addr[tag_idx] << _SDID_SHIFT) | self._sdid[tag_idx]]
+        # Only the state column is cleared: every reader gates on it (or
+        # on ``_where``), and install() overwrites the other columns.
+        self._state[tag_idx] = _INVALID
 
     # -- introspection / invariants ------------------------------------------
 
     def set_valid_count(self, skew: int, set_idx: int) -> int:
-        return self._valid_count[skew][set_idx]
+        return self._valid_count[skew * self._sets + set_idx]
 
     def iter_valid(self):
-        """Yield (tag index, entry) for every valid entry."""
-        for idx, entry in enumerate(self._entries):
-            if entry.valid:
-                yield idx, entry
+        """Yield (tag index, entry view) for every valid entry."""
+        state = self._state
+        for idx in range(len(state)):
+            if state[idx]:
+                yield idx, TagEntryView(self, idx)
 
     def check_invariants(self) -> None:
         """Verify the structural invariants; raises on violation.
@@ -292,28 +468,31 @@ class SkewedTagStore:
         in integration tests after every few thousand accesses).
         """
         p0 = p1 = 0
-        per_set = [[0] * self._sets for _ in range(self._skews)]
-        for idx, entry in enumerate(self._entries):
-            if not entry.valid:
+        per_set = [0] * (self._skews * self._sets)
+        state = self._state
+        fptr = self._fptr
+        live = {}
+        for idx in range(len(state)):
+            s = state[idx]
+            if not s:
                 continue
-            skew, set_idx, _ = self.locate(idx)
-            per_set[skew][set_idx] += 1
-            if entry.state is TagState.PRIORITY_0:
+            per_set[idx // self._ways] += 1
+            if s == _P0:
                 p0 += 1
-                if entry.fptr != NO_DATA:
+                if fptr[idx] != NO_DATA:
                     raise SimulationError("priority-0 entry with a forward pointer")
                 if idx not in self._p0_pos:
                     raise SimulationError("priority-0 entry missing from the pool")
             else:
                 p1 += 1
-                if entry.fptr == NO_DATA:
+                if fptr[idx] == NO_DATA:
                     raise SimulationError("priority-1 entry without a forward pointer")
+            live[(self._addr[idx] << _SDID_SHIFT) | self._sdid[idx]] = idx
         if p0 != len(self._p0_pool):
             raise SimulationError(f"p0 pool size {len(self._p0_pool)} != live count {p0}")
         if p1 != self.priority1_count:
             raise SimulationError(f"p1 counter {self.priority1_count} != live count {p1}")
         if per_set != self._valid_count:
             raise SimulationError("per-set valid counters out of sync")
-        live = {(e.line_addr, e.sdid): i for i, e in enumerate(self._entries) if e.valid}
         if live != self._where:
             raise SimulationError("location map out of sync with the tag array")

@@ -147,12 +147,19 @@ class IndexRandomizer:
             )
         out = []
         m64 = (1 << 64) - 1
+        bits = self._index_bits
+        m = (1 << bits) - 1
         for key in self._mix_keys:
             x = (tweaked ^ key) & m64
             x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & m64
             x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & m64
             x ^= x >> 31
-            out.append(fold_xor(x, self._index_bits))
+            # fold_xor inlined (hot path): XOR-fold 64 bits to the index width.
+            f = 0
+            while x:
+                f ^= x & m
+                x >>= bits
+            out.append(f)
         return tuple(out)
 
     def _lookup(self, line_addr: int, sdid: int) -> tuple:

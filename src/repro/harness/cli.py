@@ -13,7 +13,10 @@ counts match the benchmark suite.  ``--jobs N`` runs experiments on N
 worker processes (multi-config experiments such as fig9/fig10/table7
 additionally fan out per workload mix); results are identical to the
 serial run.  ``--json PATH`` writes a machine-readable summary with
-per-experiment wall-clock timings.  A failing experiment no longer
+per-experiment wall-clock timings.  ``--memo-capacity N`` sizes the
+randomized designs' LRU mapping cache (exported as the
+``REPRO_MEMO_CAPACITY`` environment variable so worker processes and
+nested tooling inherit it).  A failing experiment no longer
 aborts the sweep: the remaining experiments still run and the exit
 status is 1.
 """
@@ -24,9 +27,11 @@ import argparse
 import inspect
 import sys
 import time
+import os
 from typing import Callable, Dict, List, Optional, Tuple
 
 from . import runner
+from .presets import MEMO_CAPACITY_ENV
 
 #: Experiment registry: name -> (description, module basename under
 #: ``repro.harness.experiments``, run() kwargs builder).  The builder
@@ -170,7 +175,18 @@ def main(argv=None) -> int:
         "--seed", type=int, default=None, metavar="S",
         help="base seed; per-experiment child seeds are derived deterministically",
     )
+    parser.add_argument(
+        "--memo-capacity", type=int, default=None, metavar="N",
+        help="randomizer mapping-cache entries for the randomized designs "
+        "(default 2**20; exported as %s so --jobs workers inherit it)" % MEMO_CAPACITY_ENV,
+    )
     args = parser.parse_args(argv)
+
+    if args.memo_capacity is not None:
+        if args.memo_capacity <= 0:
+            print("--memo-capacity must be positive", file=sys.stderr)
+            return 2
+        os.environ[MEMO_CAPACITY_ENV] = str(args.memo_capacity)
 
     if args.experiments == ["list"]:
         for name, (description, _, _) in _REGISTRY.items():

@@ -13,6 +13,11 @@ from __future__ import annotations
 
 from typing import List
 
+#: Shared empty result for the (common) no-prefetch case, so observe()
+#: does not allocate a list on every demand access.  Callers only
+#: iterate the result; they must not mutate it.
+_NO_PREFETCHES: List[int] = []
+
 
 class StridePrefetcher:
     """Confidence-based constant-stride prefetcher for one core."""
@@ -30,20 +35,23 @@ class StridePrefetcher:
 
     def observe(self, line_addr: int) -> List[int]:
         """Feed one demand access; returns line addresses to prefetch."""
-        prefetches: List[int] = []
-        if self._last_addr >= 0:
-            stride = line_addr - self._last_addr
-            if stride != 0 and stride == self._last_stride:
-                self._confidence = min(self.max_confidence, self._confidence + 1)
-            else:
-                self._confidence = max(0, self._confidence - 1)
-                self._last_stride = stride
-            if self._confidence >= self.confidence_threshold and self._last_stride != 0:
-                for i in range(1, self.degree + 1):
-                    target = line_addr + self._last_stride * i
-                    if target >= 0:
-                        prefetches.append(target)
+        if self._last_addr < 0:
+            self._last_addr = line_addr
+            return _NO_PREFETCHES
+        stride = line_addr - self._last_addr
+        if stride != 0 and stride == self._last_stride:
+            self._confidence = min(self.max_confidence, self._confidence + 1)
+        else:
+            self._confidence = max(0, self._confidence - 1)
+            self._last_stride = stride
         self._last_addr = line_addr
+        if self._confidence < self.confidence_threshold or self._last_stride == 0:
+            return _NO_PREFETCHES
+        prefetches: List[int] = []
+        for i in range(1, self.degree + 1):
+            target = line_addr + self._last_stride * i
+            if target >= 0:
+                prefetches.append(target)
         self.issued += len(prefetches)
         return prefetches
 

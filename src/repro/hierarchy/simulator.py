@@ -98,10 +98,11 @@ def run_mix(
     clocks = [0.0] * mix.cores
     done_accesses = [0] * mix.cores
     instructions = [0] * mix.cores
+    hierarchy_access = hierarchy.access  # bound once; hot loop below
 
     def step(core_id: int, stream, offset: int) -> None:
         access = next(stream)
-        latency = hierarchy.access(
+        latency = hierarchy_access(
             core_id,
             access.line_addr + offset,
             access.is_write,

@@ -10,12 +10,19 @@ access's latency is divided by an MLP factor that stands in for the
 overlap an out-of-order core extracts.  This preserves exactly what the
 paper's comparisons measure - relative miss counts times relative
 latencies - at Python-friendly speed (see DESIGN.md "Substitutions").
+
+The demand path runs on the allocation-free ``access_fast`` protocol
+(``ACC_*`` flag ints + ``victim_*`` fields) end to end when the LLC
+design provides it; designs that only implement the object
+:class:`~repro.cache.line.AccessResult` API (and may charge a
+*variable* ``extra_latency``) are driven through it unchanged.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
+from ..cache.line import ACC_EVICTED, ACC_EVICTED_DIRTY, ACC_HIT
 from ..cache.set_assoc import SetAssociativeCache
 from ..common.config import SystemConfig
 from ..llc.interface import LLCache
@@ -49,6 +56,11 @@ class CacheHierarchy:
         directory never fires; shared-memory scenarios need it."""
         self.config = config or SystemConfig()
         self.llc = llc
+        # Engines exposing access_fast promise a *constant*
+        # extra_lookup_latency, so the fast path can charge it without
+        # materializing an AccessResult.  Anything else goes through
+        # the object API and its per-access extra_latency.
+        self._fast_llc = hasattr(llc, "access_fast")
         if mlp_factor < 1.0:
             raise ValueError("MLP factor cannot be below 1 (no negative overlap)")
         self.mlp_factor = mlp_factor
@@ -71,6 +83,12 @@ class CacheHierarchy:
             CoherenceDirectory(cores) if enable_coherence else None
         )
         self.dram = DramModel(self.config.dram)
+        # Per-level latency constants, hoisted off the config dataclass
+        # (read on every access).
+        lat = self.config.latencies
+        self._l1_cycles = float(lat.l1_cycles)
+        self._l2_cycles = lat.l2_cycles
+        self._llc_cycles = lat.llc_cycles
 
     # -- demand path -----------------------------------------------------------
 
@@ -82,17 +100,20 @@ class CacheHierarchy:
         ``now`` (the issuing core's clock) enables the DRAM bandwidth
         model; left as ``None``, memory bandwidth is unmodelled.
         """
-        lat = self.config.latencies
-        latency = float(lat.l1_cycles)
+        latency = self._l1_cycles
         tlb = self.tlbs[core_id]
         if tlb is not None:
             latency += tlb.translate(line_addr)
         if self.directory is not None:
             self._coherence_actions(core_id, line_addr, is_write, now)
-        r1 = self.l1[core_id].access(line_addr, is_write=is_write, core_id=core_id)
-        self._spill_to_l2(core_id, r1.evicted, now)
-        if self.directory is not None and r1.evicted is not None:
-            self._note_private_eviction(core_id, r1.evicted.line_addr)
+        l1 = self.l1[core_id]
+        f1 = l1.access_fast(line_addr, is_write=is_write, core_id=core_id)
+        if f1 & ACC_EVICTED:
+            v1_addr = l1.victim_addr
+            if f1 & ACC_EVICTED_DIRTY:
+                self._writeback_to_l2(core_id, v1_addr, now)
+            if self.directory is not None:
+                self._note_private_eviction(core_id, v1_addr)
         # Train on the demand stream (as PC-indexed IPCP effectively
         # does); issuing is cheap because already-resident targets
         # short-circuit in _prefetch.
@@ -100,19 +121,32 @@ class CacheHierarchy:
         if prefetcher is not None:
             for target in prefetcher.observe(line_addr):
                 self._prefetch(core_id, target, now)
-        if r1.hit:
+        if f1 & ACC_HIT:
             return latency
 
-        latency += lat.l2_cycles
-        r2 = self.l2[core_id].access(line_addr, core_id=core_id)
-        self._spill_to_llc(core_id, r2.evicted, now)
-        if self.directory is not None and r2.evicted is not None:
-            self._note_private_eviction(core_id, r2.evicted.line_addr)
-        if r2.hit:
+        latency += self._l2_cycles
+        l2 = self.l2[core_id]
+        f2 = l2.access_fast(line_addr, core_id=core_id)
+        if f2 & ACC_EVICTED:
+            v2_addr = l2.victim_addr
+            if f2 & ACC_EVICTED_DIRTY:
+                self._writeback_to_llc(core_id, v2_addr, now)
+            if self.directory is not None:
+                self._note_private_eviction(core_id, v2_addr)
+        if f2 & ACC_HIT:
             return latency
 
-        r3 = self.llc.access(line_addr, core_id=core_id, sdid=core_id)
-        latency += lat.llc_cycles + r3.extra_latency
+        llc = self.llc
+        if self._fast_llc:
+            f3 = llc.access_fast(line_addr, core_id=core_id, sdid=core_id)
+            latency += self._llc_cycles + llc.extra_lookup_latency
+            if f3 & ACC_EVICTED_DIRTY:
+                self.dram.access(llc.victim_addr, is_write=True, now=now)
+            if not f3 & ACC_HIT:
+                latency += self.dram.access(line_addr, now=now) / self.mlp_factor
+            return latency
+        r3 = llc.access(line_addr, core_id=core_id, sdid=core_id)
+        latency += self._llc_cycles + r3.extra_latency
         self._spill_to_dram(r3.evicted, now)
         if not r3.hit:
             latency += self.dram.access(line_addr, now=now) / self.mlp_factor
@@ -120,17 +154,29 @@ class CacheHierarchy:
 
     def _prefetch(self, core_id: int, line_addr: int, now: Optional[float] = None) -> None:
         """Prefetch into L1/L2 (no latency charged; fills are real)."""
-        if self.l1[core_id].contains(line_addr):
+        l1 = self.l1[core_id]
+        if l1.contains(line_addr):
             return
-        r1 = self.l1[core_id].access(line_addr, core_id=core_id)
-        self._spill_to_l2(core_id, r1.evicted, now)
-        r2 = self.l2[core_id].access(line_addr, core_id=core_id)
-        self._spill_to_llc(core_id, r2.evicted, now)
-        if not r2.hit:
-            r3 = self.llc.access(line_addr, core_id=core_id, sdid=core_id)
-            self._spill_to_dram(r3.evicted, now)
-            if not r3.hit:
-                self.dram.access(line_addr, now=now)
+        f1 = l1.access_fast(line_addr, core_id=core_id)
+        if f1 & ACC_EVICTED_DIRTY:
+            self._writeback_to_l2(core_id, l1.victim_addr, now)
+        l2 = self.l2[core_id]
+        f2 = l2.access_fast(line_addr, core_id=core_id)
+        if f2 & ACC_EVICTED_DIRTY:
+            self._writeback_to_llc(core_id, l2.victim_addr, now)
+        if not f2 & ACC_HIT:
+            llc = self.llc
+            if self._fast_llc:
+                f3 = llc.access_fast(line_addr, core_id=core_id, sdid=core_id)
+                if f3 & ACC_EVICTED_DIRTY:
+                    self.dram.access(llc.victim_addr, is_write=True, now=now)
+                if not f3 & ACC_HIT:
+                    self.dram.access(line_addr, now=now)
+            else:
+                r3 = llc.access(line_addr, core_id=core_id, sdid=core_id)
+                self._spill_to_dram(r3.evicted, now)
+                if not r3.hit:
+                    self.dram.access(line_addr, now=now)
 
     # -- coherence ----------------------------------------------------------------
 
@@ -154,7 +200,7 @@ class CacheHierarchy:
             for level in (self.l1[other], self.l2[other]):
                 evicted = level.invalidate(line_addr)
                 if evicted is not None and evicted.dirty:
-                    self._spill_to_llc(other, evicted, now)
+                    self._writeback_to_llc(other, evicted.line_addr, now)
             directory.on_eviction(other, line_addr)
         if is_write:
             # Re-register the writer (invalidate path cleared others only).
@@ -167,19 +213,21 @@ class CacheHierarchy:
 
     # -- writeback propagation ---------------------------------------------------
 
-    def _spill_to_l2(self, core_id: int, evicted, now: Optional[float] = None) -> None:
-        if evicted is not None and evicted.dirty:
-            r = self.l2[core_id].access(
-                evicted.line_addr, core_id=core_id, is_writeback=True
-            )
-            self._spill_to_llc(core_id, r.evicted, now)
+    def _writeback_to_l2(self, core_id: int, line_addr: int, now: Optional[float] = None) -> None:
+        l2 = self.l2[core_id]
+        f = l2.access_fast(line_addr, core_id=core_id, is_writeback=True)
+        if f & ACC_EVICTED_DIRTY:
+            self._writeback_to_llc(core_id, l2.victim_addr, now)
 
-    def _spill_to_llc(self, core_id: int, evicted, now: Optional[float] = None) -> None:
-        if evicted is not None and evicted.dirty:
-            r = self.llc.access(
-                evicted.line_addr, core_id=core_id, is_writeback=True, sdid=core_id
-            )
-            self._spill_to_dram(r.evicted, now)
+    def _writeback_to_llc(self, core_id: int, line_addr: int, now: Optional[float] = None) -> None:
+        llc = self.llc
+        if self._fast_llc:
+            f = llc.access_fast(line_addr, core_id=core_id, is_writeback=True, sdid=core_id)
+            if f & ACC_EVICTED_DIRTY:
+                self.dram.access(llc.victim_addr, is_write=True, now=now)
+            return
+        r = llc.access(line_addr, core_id=core_id, is_writeback=True, sdid=core_id)
+        self._spill_to_dram(r.evicted, now)
 
     def _spill_to_dram(self, evicted, now: Optional[float] = None) -> None:
         if evicted is not None and evicted.dirty:

@@ -28,6 +28,26 @@ class BaselineLLC(LLCache):
         self.geometry = geometry or PAPER_BASELINE
         self._cache = SetAssociativeCache(self.geometry, policy=policy, seed=seed, name="LLC")
         self.stats = self._cache.stats
+        # Expose the inner cache's allocation-free hot path directly
+        # (bound method, no delegation frame); the victim_* fields of
+        # the protocol are mirrored by the properties below.
+        self.access_fast = self._cache.access_fast
+
+    @property
+    def victim_addr(self) -> int:
+        return self._cache.victim_addr
+
+    @property
+    def victim_core(self) -> int:
+        return self._cache.victim_core
+
+    @property
+    def victim_sdid(self) -> int:
+        return self._cache.victim_sdid
+
+    @property
+    def victim_reused(self) -> bool:
+        return self._cache.victim_reused
 
     def access(
         self,

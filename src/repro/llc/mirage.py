@@ -11,37 +11,34 @@ Differences from Maya (and why Maya saves storage): Mirage installs
 data for *every* fill, so its data store matches the baseline's 16 MB
 and the extra tags are pure overhead (+20% storage); Maya's reuse
 filtering lets it shrink the data store below the baseline instead.
+
+The tag array is stored as packed columns (validity, address, SDID,
+core, FPTR, dirty/reused bits) and the hot path is
+:meth:`MirageCache.access_fast` (``ACC_*`` flag protocol, victim
+published via the ``victim_*`` fields).  Behaviour is bit-identical to
+the object-model reference in ``repro.reference.mirage``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from array import array
+from typing import Dict, Optional
 
-from ..cache.line import AccessResult, EvictedLine
+from ..cache.line import (
+    ACC_EVICTED,
+    ACC_EVICTED_DIRTY,
+    ACC_HIT,
+    ACC_SAE,
+    AccessResult,
+    EvictedLine,
+)
 from ..cache.stats import CacheStats
 from ..common.config import MirageConfig
 from ..common.errors import SetAssociativeEviction, SimulationError
 from ..common.rng import derive_seed, make_rng
 from ..core.data_store import DataStore
-from ..crypto.randomizer import IndexRandomizer
+from ..crypto.randomizer import DEFAULT_MEMO_CAPACITY, IndexRandomizer
 from .interface import LLCache
-
-
-@dataclass
-class _MirageTag:
-    """One Mirage tag entry: tag + SDID + FPTR (valid iff fptr >= 0)."""
-
-    line_addr: int = 0
-    sdid: int = 0
-    core_id: int = -1
-    dirty: bool = False
-    reused: bool = False
-    fptr: int = -1
-
-    @property
-    def valid(self) -> bool:
-        return self.fptr >= 0
 
 
 class MirageCache(LLCache):
@@ -71,14 +68,37 @@ class MirageCache(LLCache):
             cfg.sets_per_skew,
             seed=derive_seed(cfg.rng_seed, 31),
             algorithm=cfg.hash_algorithm,
+            memo_capacity=(
+                cfg.memo_capacity if cfg.memo_capacity is not None else DEFAULT_MEMO_CAPACITY
+            ),
         )
         self._rng = make_rng(derive_seed(cfg.rng_seed, 32))
-        self._tags: List[_MirageTag] = [_MirageTag() for _ in range(cfg.tag_entries)]
-        self._valid_count: List[List[int]] = [[0] * self._sets for _ in range(self._skews)]
-        self._where: Dict[tuple, int] = {}
+        # Memoized per-skew index lookup, bound once (rekey clears the
+        # randomizer's memo in place, so the binding stays valid).
+        self._indices_of = self.randomizer._lookup
+        total = cfg.tag_entries
+        # A tag entry is valid iff its FPTR >= 0; the separate validity
+        # byte column exists so find-invalid-way is a C-speed .find().
+        self._valid = bytearray(total)
+        self._addr = array("Q", bytes(8 * total))
+        self._sdid = array("i", bytes(4 * total))
+        self._core = array("i", b"\xff\xff\xff\xff" * total)  # -1 everywhere
+        self._dirty = bytearray(total)
+        self._reused = bytearray(total)
+        self._fptr = array("q", [-1]) * total
+        # Flat list indexed ``skew * sets + set_idx`` (== tag_idx // ways).
+        self._valid_count = [0] * (self._skews * self._sets)
+        #: packed (line_addr << 16 | sdid) -> tag index.
+        self._where: Dict[int, int] = {}
         self.data = DataStore(cfg.data_entries, seed=derive_seed(cfg.rng_seed, 33))
         self.stats = CacheStats()
         self.installs = 0
+        # Victim fields of the access_fast protocol (valid until the
+        # next access after a result with ACC_EVICTED set).
+        self.victim_addr = 0
+        self.victim_core = -1
+        self.victim_sdid = 0
+        self.victim_reused = False
 
     # -- index helpers -------------------------------------------------------
 
@@ -92,6 +112,61 @@ class MirageCache(LLCache):
 
     # -- access path ---------------------------------------------------------
 
+    def access_fast(
+        self,
+        line_addr: int,
+        is_write: bool = False,
+        core_id: int = 0,
+        is_writeback: bool = False,
+        sdid: int = 0,
+    ) -> int:
+        """One access with no allocation; returns ``ACC_*`` flags."""
+        tag_idx = self._where.get((line_addr << 16) | sdid)
+        st = self.stats
+        st.accesses += 1
+        if tag_idx is not None:
+            st.hits += 1
+            if is_writeback:
+                st.writebacks_received += 1
+                self._dirty[tag_idx] = 1
+            else:
+                st.demand_accesses += 1
+                st.demand_hits += 1
+                self._reused[tag_idx] = 1
+                if is_write:
+                    self._dirty[tag_idx] = 1
+            return ACC_HIT
+        st.misses += 1
+        if is_writeback:
+            st.writebacks_received += 1
+        else:
+            st.demand_accesses += 1
+            pcm = st.per_core_misses
+            pcm[core_id] = pcm.get(core_id, 0) + 1
+
+        flags = 0
+        self.installs += 1
+        # Global random eviction first, so a data entry and the victim's
+        # tag slot are free before the new install.
+        if self.data.full:
+            flags = self._global_random_eviction(filler_core=core_id)
+        skew, set_idx = self._pick_skew(line_addr, sdid)
+        base = (skew * self._sets + set_idx) * self._ways
+        slot = self._valid.find(0, base, base + self._ways)
+        if slot < 0:
+            st.saes += 1
+            if self._on_sae == "raise":
+                raise SetAssociativeEviction(
+                    f"SAE in skew {skew}, set {set_idx}", installs=self.installs
+                )
+            victim_way = self._rng.randrange(self._ways)
+            # The SAE victim's writeback supersedes the data eviction's
+            # (v1 semantics kept by the reference model).
+            flags = ACC_SAE | self._drop_tag(base + victim_way, filler_core=core_id)
+            slot = self._valid.find(0, base, base + self._ways)
+        self._install(slot, line_addr, sdid, core_id, dirty=is_write or is_writeback)
+        return flags
+
     def access(
         self,
         line_addr: int,
@@ -100,112 +175,115 @@ class MirageCache(LLCache):
         is_writeback: bool = False,
         sdid: int = 0,
     ) -> AccessResult:
-        tag_idx = self._where.get((line_addr, sdid))
-        hit = tag_idx is not None
-        self.stats.record_access(hit, is_writeback, core_id)
-        if hit:
-            tag = self._tags[tag_idx]
-            if not is_writeback:
-                tag.reused = True
-            if is_write or is_writeback:
-                tag.dirty = True
+        flags = self.access_fast(line_addr, is_write, core_id, is_writeback, sdid)
+        if flags & ACC_HIT:
             return AccessResult(hit=True, extra_latency=self.extra_lookup_latency)
-
-        sae = False
         evicted = None
-        self.installs += 1
-        # Global random eviction first, so a data entry and the victim's
-        # tag slot are free before the new install.
-        if self.data.full:
-            evicted = self._global_random_eviction(filler_core=core_id)
-        skew, set_idx = self._pick_skew(line_addr, sdid)
-        slot = self._find_invalid_way(skew, set_idx)
-        if slot is None:
-            sae = True
-            self.stats.saes += 1
-            if self._on_sae == "raise":
-                raise SetAssociativeEviction(
-                    f"SAE in skew {skew}, set {set_idx}", installs=self.installs
-                )
-            victim_way = self._rng.randrange(self._ways)
-            evicted = self._drop_tag(self._tag_index(skew, set_idx, victim_way), filler_core=core_id)
-            slot = self._find_invalid_way(skew, set_idx)
-        self._install(slot, line_addr, sdid, core_id, dirty=is_write or is_writeback)
-        return AccessResult(hit=False, evicted=evicted, sae=sae, extra_latency=self.extra_lookup_latency)
+        if flags & ACC_EVICTED:
+            evicted = EvictedLine(
+                line_addr=self.victim_addr,
+                dirty=bool(flags & ACC_EVICTED_DIRTY),
+                core_id=self.victim_core,
+                sdid=self.victim_sdid,
+                was_reused=self.victim_reused,
+            )
+        return AccessResult(
+            hit=False, evicted=evicted, sae=bool(flags & ACC_SAE), extra_latency=self.extra_lookup_latency
+        )
 
     def _pick_skew(self, line_addr: int, sdid: int):
-        indices = self.randomizer.all_indices(line_addr, sdid)
+        indices = self._indices_of(line_addr, sdid)
         if self._skew_policy == "random":
             skew = self._rng.randrange(self._skews)
             return skew, indices[skew]
-        loads = [self._valid_count[s][indices[s]] for s in range(self._skews)]
+        vc = self._valid_count
+        if self._skews == 2:
+            i0 = indices[0]
+            i1 = indices[1]
+            l0 = vc[i0]
+            l1 = vc[self._sets + i1]
+            if l0 < l1:
+                return 0, i0
+            if l1 < l0:
+                return 1, i1
+            skew = self._rng.randrange(2)
+            return (1, i1) if skew else (0, i0)
+        loads = [vc[s * self._sets + indices[s]] for s in range(self._skews)]
         best = min(loads)
         candidates = [s for s, load in enumerate(loads) if load == best]
         skew = candidates[self._rng.randrange(len(candidates))] if len(candidates) > 1 else candidates[0]
         return skew, indices[skew]
 
-    def _find_invalid_way(self, skew: int, set_idx: int) -> Optional[int]:
-        base = self._tag_index(skew, set_idx, 0)
-        for way in range(self._ways):
-            if not self._tags[base + way].valid:
-                return base + way
-        return None
-
     def _install(self, tag_idx: int, line_addr: int, sdid: int, core_id: int, dirty: bool) -> None:
-        tag = self._tags[tag_idx]
-        if tag.valid:
+        if self._valid[tag_idx]:
             raise SimulationError("installing over a valid Mirage tag")
-        tag.line_addr = line_addr
-        tag.sdid = sdid
-        tag.core_id = core_id
-        tag.dirty = dirty
-        tag.reused = False
-        tag.fptr = self.data.allocate(tag_idx)
-        skew, set_idx, _ = self._locate(tag_idx)
-        self._valid_count[skew][set_idx] += 1
-        self._where[(line_addr, sdid)] = tag_idx
+        self._valid[tag_idx] = 1
+        self._addr[tag_idx] = line_addr
+        self._sdid[tag_idx] = sdid
+        self._core[tag_idx] = core_id
+        self._dirty[tag_idx] = 1 if dirty else 0
+        self._reused[tag_idx] = 0
+        self._fptr[tag_idx] = self.data.allocate(tag_idx)
+        self._valid_count[tag_idx // self._ways] += 1
+        self._where[(line_addr << 16) | sdid] = tag_idx
         self.stats.fills += 1
         self.stats.data_fills += 1
 
-    def _global_random_eviction(self, filler_core: int) -> EvictedLine:
+    def _global_random_eviction(self, filler_core: int) -> int:
         victim_data = self.data.random_victim()
-        return self._drop_tag(self.data.entry(victim_data).rptr, filler_core=filler_core)
+        return self._drop_tag(self.data.rptr_of(victim_data), filler_core=filler_core)
 
-    def _drop_tag(self, tag_idx: int, filler_core: int) -> EvictedLine:
-        tag = self._tags[tag_idx]
-        if not tag.valid:
+    def _drop_tag(self, tag_idx: int, filler_core: int) -> int:
+        if not self._valid[tag_idx]:
             raise SimulationError("dropping an invalid Mirage tag")
-        evicted = EvictedLine(
-            line_addr=tag.line_addr,
-            dirty=tag.dirty,
-            core_id=tag.core_id,
-            sdid=tag.sdid,
-            was_reused=tag.reused,
-        )
-        self.stats.record_eviction(
-            dirty=tag.dirty,
-            was_reused=tag.reused,
-            cross_core=tag.core_id >= 0 and filler_core >= 0 and tag.core_id != filler_core,
-        )
-        self.data.free(tag.fptr)
-        skew, set_idx, _ = self._locate(tag_idx)
-        self._valid_count[skew][set_idx] -= 1
-        del self._where[(tag.line_addr, tag.sdid)]
-        tag.fptr = -1
-        tag.core_id = -1
-        tag.dirty = False
-        tag.reused = False
-        return evicted
+        dirty = self._dirty[tag_idx]
+        reused = self._reused[tag_idx]
+        core = self._core[tag_idx]
+        addr = self._addr[tag_idx]
+        sd = self._sdid[tag_idx]
+        self.victim_addr = addr
+        self.victim_core = core
+        self.victim_sdid = sd
+        self.victim_reused = bool(reused)
+        st = self.stats
+        st.evictions += 1
+        if dirty:
+            st.dirty_evictions += 1
+        if not reused:
+            st.dead_evictions += 1
+        if core >= 0 and filler_core >= 0 and core != filler_core:
+            st.interference_evictions += 1
+        self.data.free(self._fptr[tag_idx])
+        self._valid_count[tag_idx // self._ways] -= 1
+        del self._where[(addr << 16) | sd]
+        # Only the validity and FPTR columns are cleared: every reader
+        # gates on them (or on ``_where``), and a refill overwrites the
+        # rest, so further resets would be wasted stores.
+        self._valid[tag_idx] = 0
+        self._fptr[tag_idx] = -1
+        return ACC_EVICTED | ACC_EVICTED_DIRTY if dirty else ACC_EVICTED
 
     # -- maintenance -----------------------------------------------------------
 
+    def _victim_as_evicted_line(self, flags: int) -> EvictedLine:
+        return EvictedLine(
+            line_addr=self.victim_addr,
+            dirty=bool(flags & ACC_EVICTED_DIRTY),
+            core_id=self.victim_core,
+            sdid=self.victim_sdid,
+            was_reused=self.victim_reused,
+        )
+
     def invalidate(self, line_addr: int, sdid: int = 0) -> Optional[EvictedLine]:
-        tag_idx = self._where.get((line_addr, sdid))
+        tag_idx = self._where.get((line_addr << 16) | sdid)
         if tag_idx is None:
             return None
-        return self._drop_tag(tag_idx, filler_core=-1)
+        return self._victim_as_evicted_line(self._drop_tag(tag_idx, filler_core=-1))
 
     def flush_all(self) -> int:
+        # Insertion order of the location map, matching the reference
+        # model exactly (the order the data entries return to the free
+        # list is observable through later allocations).
         count = 0
         for tag_idx in list(self._where.values()):
             self._drop_tag(tag_idx, filler_core=-1)
@@ -213,7 +291,7 @@ class MirageCache(LLCache):
         return count
 
     def contains(self, line_addr: int, sdid: int = 0) -> bool:
-        return (line_addr, sdid) in self._where
+        return ((line_addr << 16) | sdid) in self._where
 
     @property
     def occupancy(self) -> int:
@@ -221,28 +299,31 @@ class MirageCache(LLCache):
 
     def occupancy_by_core(self) -> Dict[int, int]:
         counts: Dict[int, int] = {}
+        core = self._core
         for tag_idx in self._where.values():
-            tag = self._tags[tag_idx]
-            counts[tag.core_id] = counts.get(tag.core_id, 0) + 1
+            counts[core[tag_idx]] = counts.get(core[tag_idx], 0) + 1
         return counts
 
     def resident_unreused(self) -> int:
         """Still-resident never-reused lines (Fig. 1 accounting)."""
-        return sum(1 for t in self._tags if t.valid and not t.reused)
+        valid = self._valid
+        reused = self._reused
+        return sum(1 for i in range(len(valid)) if valid[i] and not reused[i])
 
     def check_invariants(self) -> None:
         """Structural consistency between tags, data, and indices."""
         expected = {}
-        valid = 0
-        per_set = [[0] * self._sets for _ in range(self._skews)]
-        for idx, tag in enumerate(self._tags):
-            if tag.valid:
-                valid += 1
-                expected[tag.fptr] = idx
-                skew, set_idx, _ = self._locate(idx)
-                per_set[skew][set_idx] += 1
+        valid_total = 0
+        per_set = [0] * (self._skews * self._sets)
+        for idx in range(len(self._valid)):
+            if self._valid[idx]:
+                if self._fptr[idx] < 0:
+                    raise SimulationError("valid Mirage tag without a data pointer")
+                valid_total += 1
+                expected[self._fptr[idx]] = idx
+                per_set[idx // self._ways] += 1
         self.data.check_invariants(expected)
-        if valid != len(self._where):
+        if valid_total != len(self._where):
             raise SimulationError("location map out of sync")
         if per_set != self._valid_count:
             raise SimulationError("per-set valid counters out of sync")

@@ -1,0 +1,235 @@
+"""Differential tests: packed SoA engines vs the object-model reference.
+
+The packed struct-of-arrays engines (``repro.cache.set_assoc``,
+``repro.core.maya_cache``, ``repro.llc.mirage``) must be *behaviourally
+indistinguishable* from the retained object-model implementations in
+``repro.reference``: same seed + same access stream => identical
+per-access results, bit-identical statistics, identical occupancy, and
+identical RNG draw order.  These tests drive both engines with the same
+randomized streams - including invalidates, full flushes, SAE storms,
+and rekeying - and fail on the first divergence.
+
+Any failure here is a bug in the packed rewrite (or in an edit that
+touched one engine and forgot its twin).
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.common.config import CacheGeometry, MayaConfig, MirageConfig
+from repro.core.maya_cache import MayaCache
+from repro.llc.mirage import MirageCache
+from repro.reference import (
+    ReferenceMayaCache,
+    ReferenceMirageCache,
+    ReferenceSetAssociativeCache,
+)
+
+
+# -- stream generation ----------------------------------------------------
+
+
+def make_stream(seed, length, addr_space, cores=4, sdids=1):
+    """A reproducible mixed stream: (addr, is_write, core, is_writeback, sdid).
+
+    60% of accesses hit a hot working set (drives promotions, reuse, and
+    global evictions); the rest scan cold addresses (drives installs and
+    capacity pressure).  ~20% writes, ~10% writebacks.
+    """
+    rng = random.Random(seed)
+    hot = [rng.randrange(addr_space) for _ in range(max(8, addr_space // 8))]
+    ops = []
+    for _ in range(length):
+        addr = rng.choice(hot) if rng.random() < 0.6 else rng.randrange(addr_space)
+        kind = rng.random()
+        ops.append(
+            (
+                addr,
+                kind < 0.2,  # is_write
+                rng.randrange(cores),
+                0.2 <= kind < 0.3,  # is_writeback
+                rng.randrange(sdids),
+            )
+        )
+    return ops
+
+
+# -- comparison helpers ---------------------------------------------------
+
+
+def assert_stats_equal(packed, reference):
+    """Full CacheStats dicts must match field for field."""
+    ps = dataclasses.asdict(packed.stats)
+    rs = dataclasses.asdict(reference.stats)
+    assert ps == rs, f"stats diverged:\n packed   ={ps}\n reference={rs}"
+
+
+def assert_state_equal(packed, reference):
+    assert_stats_equal(packed, reference)
+    assert packed.occupancy == reference.occupancy
+    assert packed.occupancy_by_core() == reference.occupancy_by_core()
+    if hasattr(packed, "occupancy_by_domain"):
+        assert packed.occupancy_by_domain() == reference.occupancy_by_domain()
+    if hasattr(packed, "check_invariants"):
+        packed.check_invariants()
+    if hasattr(reference, "check_invariants"):
+        reference.check_invariants()
+
+
+def drive_pair(packed, reference, ops, sdid_aware=True, mutate_every=None):
+    """Replay ``ops`` on both engines, comparing every AccessResult.
+
+    With ``mutate_every=n``, every n-th access is followed by an
+    ``invalidate`` of that address (exercising the flush/invalidate
+    paths mid-stream, where lazily-cleared packed columns could leak
+    stale state if the readers' gating were wrong).
+    """
+    for i, (addr, is_write, core, is_writeback, sdid) in enumerate(ops):
+        kwargs = {"is_write": is_write, "core_id": core, "is_writeback": is_writeback}
+        if sdid_aware:
+            kwargs["sdid"] = sdid
+        rp = packed.access(addr, **kwargs)
+        rr = reference.access(addr, **kwargs)
+        assert rp == rr, f"access {i} ({addr=}) diverged:\n packed   ={rp}\n reference={rr}"
+        if mutate_every and i % mutate_every == mutate_every - 1:
+            if sdid_aware:
+                ep = packed.invalidate(addr, sdid=sdid)
+                er = reference.invalidate(addr, sdid=sdid)
+            else:
+                ep = packed.invalidate(addr)
+                er = reference.invalidate(addr)
+            assert ep == er, f"invalidate after access {i} diverged: {ep} vs {er}"
+    assert_state_equal(packed, reference)
+
+
+# -- Maya -----------------------------------------------------------------
+
+
+def maya_pair(sets=64, seed=11, **kwargs):
+    cfg = dict(sets_per_skew=sets, rng_seed=seed, hash_algorithm="splitmix")
+    return (
+        MayaCache(MayaConfig(**cfg), **kwargs),
+        ReferenceMayaCache(MayaConfig(**cfg), **kwargs),
+    )
+
+
+class TestMayaDifferential:
+    def test_mixed_stream_bit_identical(self):
+        packed, reference = maya_pair()
+        ops = make_stream(seed=1, length=4000, addr_space=4096, cores=4, sdids=3)
+        drive_pair(packed, reference, ops, mutate_every=97)
+        # The stream must exercise the interesting paths, not tiptoe
+        # around them: tag-only hits (promotions), global tag evictions,
+        # data evictions, and the premature-P0 window.
+        assert packed.stats.tag_only_hits > 0
+        assert packed.stats.tag_evictions > 0
+        assert packed.stats.evictions > 0
+        assert packed.premature_p0_evictions == reference.premature_p0_evictions
+        assert packed.installs == reference.installs
+        info_p = packed.refresh_mapping_cache_stats()
+        info_r = reference.refresh_mapping_cache_stats()
+        assert (info_p.hits, info_p.misses) == (info_r.hits, info_r.misses)
+        assert_stats_equal(packed, reference)
+
+    def test_flush_all_mid_stream(self):
+        packed, reference = maya_pair(seed=23)
+        ops = make_stream(seed=2, length=2400, addr_space=2048, sdids=2)
+        drive_pair(packed, reference, ops[:1200])
+        assert packed.flush_all() == reference.flush_all()
+        assert packed.occupancy == 0
+        drive_pair(packed, reference, ops[1200:])
+
+    def test_rekey_mid_stream(self):
+        packed, reference = maya_pair(seed=31)
+        ops = make_stream(seed=3, length=2400, addr_space=2048, sdids=2)
+        drive_pair(packed, reference, ops[:1200])
+        packed.rekey()
+        reference.rekey()
+        drive_pair(packed, reference, ops[1200:])
+
+    def test_sae_storm_with_rekey_policy(self):
+        # No invalid-way reserve + no global tag eviction => the tag
+        # store fills and SAEs (and the resulting rekey-flushes) fire
+        # constantly.  Both engines must agree access for access.
+        cfg = dict(
+            sets_per_skew=4,
+            base_ways_per_skew=2,
+            reuse_ways_per_skew=1,
+            invalid_ways_per_skew=0,
+            rng_seed=5,
+            hash_algorithm="splitmix",
+        )
+        packed = MayaCache(MayaConfig(**cfg), on_sae="rekey", global_tag_eviction=False)
+        reference = ReferenceMayaCache(
+            MayaConfig(**cfg), on_sae="rekey", global_tag_eviction=False
+        )
+        ops = make_stream(seed=4, length=1500, addr_space=256, cores=2, sdids=2)
+        drive_pair(packed, reference, ops)
+        assert packed.stats.saes > 0
+
+    def test_random_skew_policy(self):
+        packed, reference = maya_pair(seed=47, skew_policy="random")
+        ops = make_stream(seed=6, length=2000, addr_space=2048)
+        drive_pair(packed, reference, ops)
+
+
+# -- Mirage ---------------------------------------------------------------
+
+
+def mirage_pair(seed=13, on_sae="count", **cfg_kwargs):
+    cfg = dict(sets_per_skew=64, rng_seed=seed, hash_algorithm="splitmix")
+    cfg.update(cfg_kwargs)
+    return (
+        MirageCache(MirageConfig(**cfg), on_sae=on_sae),
+        ReferenceMirageCache(MirageConfig(**cfg), on_sae=on_sae),
+    )
+
+
+class TestMirageDifferential:
+    def test_mixed_stream_bit_identical(self):
+        packed, reference = mirage_pair()
+        ops = make_stream(seed=7, length=4000, addr_space=4096, cores=4, sdids=2)
+        drive_pair(packed, reference, ops, mutate_every=89)
+        assert packed.stats.evictions > 0
+
+    def test_sae_path(self):
+        # Zero extra (invalid) tag ways per skew: SAEs are routine.
+        packed, reference = mirage_pair(
+            seed=17, sets_per_skew=4, base_ways_per_skew=4, extra_ways_per_skew=0
+        )
+        ops = make_stream(seed=8, length=1500, addr_space=256, cores=2)
+        drive_pair(packed, reference, ops)
+        assert packed.stats.saes > 0
+
+    def test_flush_all_mid_stream(self):
+        packed, reference = mirage_pair(seed=19)
+        ops = make_stream(seed=9, length=2400, addr_space=2048)
+        drive_pair(packed, reference, ops[:1200])
+        assert packed.flush_all() == reference.flush_all()
+        drive_pair(packed, reference, ops[1200:])
+
+
+# -- Set-associative baseline (also the packed L1/L2 substrate) -----------
+
+
+class TestSetAssocDifferential:
+    @pytest.mark.parametrize("policy", ["lru", "random", "srrip", "brrip", "drrip"])
+    def test_mixed_stream_bit_identical(self, policy):
+        geometry = CacheGeometry(sets=32, ways=4)
+        packed = SetAssociativeCache(geometry, policy=policy, seed=21)
+        reference = ReferenceSetAssociativeCache(geometry, policy=policy, seed=21)
+        ops = make_stream(seed=10, length=3000, addr_space=1024, cores=4)
+        drive_pair(packed, reference, ops, sdid_aware=False, mutate_every=101)
+
+    def test_flush_all_mid_stream(self):
+        geometry = CacheGeometry(sets=16, ways=8)
+        packed = SetAssociativeCache(geometry, policy="lru")
+        reference = ReferenceSetAssociativeCache(geometry, policy="lru")
+        ops = make_stream(seed=12, length=2000, addr_space=512)
+        drive_pair(packed, reference, ops[:1000], sdid_aware=False)
+        assert packed.flush_all() == reference.flush_all()
+        assert packed.occupancy == 0
+        drive_pair(packed, reference, ops[1000:], sdid_aware=False)

@@ -1,0 +1,226 @@
+"""Benchmark the ``run_mix`` hot path per LLC design.
+
+Times the full hierarchy simulation (packed L1/L2 + one LLC design)
+over the canonical protocol - 8 cores of homogeneous ``mcf`` on a
+512-set LLC - and reports accesses/second plus the run's MPKI
+fingerprint.  Fresh caches per trial make every trial's statistics
+bit-identical; the throughput spread is pure machine noise, so the
+best-of-N figure is the one to compare across commits.
+
+Usage::
+
+    python tools/bench.py                       # full protocol, print table
+    python tools/bench.py --quick               # CI-sized protocol
+    python tools/bench.py --both --out BENCH_2.json   # regenerate the
+                                                      # checked-in baseline
+    python tools/bench.py --quick --verify      # + reference-engine
+                                                # equivalence check
+    python tools/bench.py --quick --baseline BENCH_2.json --check-regression 25
+
+``--check-regression PCT`` exits 1 if measured Maya throughput falls
+more than PCT percent below the checked-in baseline's figure for the
+same protocol, or if any design's MPKI fingerprint deviates at all
+(fingerprints are exact; throughput gets headroom because absolute
+accesses/sec is machine-dependent - the 25% CI threshold absorbs
+runner-to-runner variance, not algorithmic regressions, which show up
+far larger).
+
+Developer tool, not part of the library API.  Requires the package on
+the path (``pip install -e .`` or ``PYTHONPATH=src``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+from repro.core.maya_cache import MayaCache
+from repro.harness.presets import experiment_maya, experiment_mirage, experiment_system
+from repro.hierarchy.simulator import run_mix
+from repro.llc.baseline import BaselineLLC
+from repro.llc.mirage import MirageCache
+from repro.trace.mixes import homogeneous
+
+#: Canonical protocol (matched by the checked-in BENCH_*.json files).
+FULL = {"llc_sets": 512, "cores": 8, "accesses_per_core": 12000,
+        "warmup_per_core": 6000, "seed": 7, "bench": "mcf", "trials": 5}
+#: CI-sized protocol: same shape, ~4x fewer accesses, fewer trials.
+QUICK = {"llc_sets": 512, "cores": 8, "accesses_per_core": 3000,
+         "warmup_per_core": 1500, "seed": 7, "bench": "mcf", "trials": 2}
+
+#: Pre-SoA throughput on the development machine (commit d57973e),
+#: measured with the FULL protocol - the anchor for the rewrite's
+#: speedup claims in DESIGN.md.
+PRE_SOA_ANCHOR = {"maya": 14637.6, "mirage": 16646.0, "baseline": 20016.5}
+
+
+def _make_llc(design: str, params: dict):
+    sets, seed = params["llc_sets"], params["seed"]
+    if design == "maya":
+        return MayaCache(experiment_maya(llc_sets=sets, seed=seed))
+    if design == "mirage":
+        return MirageCache(experiment_mirage(llc_sets=sets, seed=seed))
+    if design == "baseline":
+        return BaselineLLC(experiment_system(llc_sets=sets).llc_geometry)
+    raise ValueError(f"unknown design {design!r}")
+
+
+def bench_design(design: str, params: dict, make_llc=_make_llc) -> dict:
+    """Run ``trials`` fresh simulations; return throughput + fingerprint."""
+    mix = homogeneous(params["bench"], params["cores"])
+    system = experiment_system(cores=params["cores"], llc_sets=params["llc_sets"])
+    total_accesses = (params["accesses_per_core"] + params["warmup_per_core"]) * params["cores"]
+    seconds, mpki = [], None
+    for _ in range(params["trials"]):
+        llc = make_llc(design, params)
+        t0 = time.perf_counter()
+        result = run_mix(
+            llc, mix, system,
+            accesses_per_core=params["accesses_per_core"],
+            warmup_accesses=params["warmup_per_core"],
+            seed=params["seed"],
+        )
+        seconds.append(time.perf_counter() - t0)
+        if mpki is None:
+            mpki = result.llc_mpki
+        elif result.llc_mpki != mpki:
+            raise AssertionError(
+                f"{design}: trials diverged ({result.llc_mpki} != {mpki}) - "
+                "the simulation is not deterministic"
+            )
+    return {
+        "accesses_per_sec_best": round(total_accesses / min(seconds), 1),
+        "accesses_per_sec_median": round(total_accesses / statistics.median(seconds), 1),
+        "llc_mpki": mpki,
+        "trial_seconds": [round(s, 3) for s in seconds],
+    }
+
+
+def run_protocol(params: dict, designs=("maya", "mirage", "baseline")) -> dict:
+    results = {}
+    for design in designs:
+        results[design] = bench_design(design, params)
+        r = results[design]
+        print(
+            f"  {design:9s} {r['accesses_per_sec_best']:>10.1f} acc/s best "
+            f"({r['accesses_per_sec_median']:>9.1f} median over "
+            f"{params['trials']} trials)  mpki={r['llc_mpki']:.6f}"
+        )
+    return results
+
+
+def verify_against_reference(params: dict) -> None:
+    """Reference (object-model) Maya must reproduce the packed MPKI.
+
+    Drives the retained pre-SoA engine through the same ``run_mix``
+    (it takes the slow AccessResult path) and requires a bit-identical
+    MPKI fingerprint - an end-to-end cross-check that the packed engine
+    did not drift, complementing tests/test_differential_engines.py.
+    """
+    from repro.reference import ReferenceMayaCache
+
+    def make(design, p):
+        return ReferenceMayaCache(experiment_maya(llc_sets=p["llc_sets"], seed=p["seed"]))
+
+    ref_params = dict(params, trials=1)
+    reference = bench_design("maya", ref_params, make_llc=make)
+    packed = bench_design("maya", ref_params)
+    if reference["llc_mpki"] != packed["llc_mpki"]:
+        print(
+            f"EQUIVALENCE FAILURE: packed maya mpki {packed['llc_mpki']} != "
+            f"reference {reference['llc_mpki']}",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    print(f"  reference equivalence OK (mpki={packed['llc_mpki']:.6f} both engines)")
+
+
+def check_regression(measured: dict, baseline_path: str, protocol: str, pct: float) -> int:
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    base = baseline["protocols"].get(protocol)
+    if base is None:
+        print(f"baseline {baseline_path} has no {protocol!r} protocol", file=sys.stderr)
+        return 1
+    failures = 0
+    for design, r in measured.items():
+        b = base["results"].get(design)
+        if b is None:
+            continue
+        if r["llc_mpki"] != b["llc_mpki"]:
+            print(
+                f"REGRESSION ({design}): mpki fingerprint {r['llc_mpki']} != "
+                f"baseline {b['llc_mpki']} (must be exact)",
+                file=sys.stderr,
+            )
+            failures += 1
+    floor = base["results"]["maya"]["accesses_per_sec_best"] * (1 - pct / 100.0)
+    got = measured["maya"]["accesses_per_sec_best"]
+    if got < floor:
+        print(
+            f"REGRESSION (maya): {got:.1f} acc/s is more than {pct:.0f}% below "
+            f"the baseline {base['results']['maya']['accesses_per_sec_best']:.1f}",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not failures:
+        print(f"  regression check OK (maya {got:.1f} acc/s >= floor {floor:.1f})")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized protocol")
+    parser.add_argument("--both", action="store_true",
+                        help="run full AND quick protocols (for regenerating the baseline)")
+    parser.add_argument("--trials", type=int, default=None, help="override trial count")
+    parser.add_argument("--out", metavar="PATH", help="write the protocols run as JSON")
+    parser.add_argument("--verify", action="store_true",
+                        help="cross-check packed Maya against the object-model reference")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="checked-in BENCH_*.json to compare against")
+    parser.add_argument("--check-regression", type=float, metavar="PCT", default=None,
+                        help="fail if Maya throughput drops >PCT%% vs --baseline")
+    args = parser.parse_args(argv)
+
+    protocol = "quick" if args.quick else "full"
+    params = dict(QUICK if args.quick else FULL)
+    if args.trials:
+        params["trials"] = args.trials
+
+    payload = {"bench_id": 2, "pre_soa_anchor": PRE_SOA_ANCHOR, "protocols": {}}
+    print(f"[{protocol}] {params}")
+    results = run_protocol(params)
+    payload["protocols"][protocol] = {"params": params, "results": results}
+
+    if args.verify:
+        verify_against_reference(params)
+
+    if args.both:
+        other_name = "full" if args.quick else "quick"
+        other = dict(FULL if args.quick else QUICK)
+        if args.trials:
+            other["trials"] = args.trials
+        print(f"[{other_name}] {other}")
+        payload["protocols"][other_name] = {"params": other, "results": run_protocol(other)}
+
+    if args.out:
+        payload["protocols"] = dict(sorted(payload["protocols"].items()))
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+
+    if args.check_regression is not None:
+        if not args.baseline:
+            print("--check-regression needs --baseline PATH", file=sys.stderr)
+            return 2
+        return check_regression(results, args.baseline, protocol, args.check_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
