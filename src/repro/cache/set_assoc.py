@@ -19,7 +19,6 @@ Behaviour is bit-identical to the object-model reference in
 
 from __future__ import annotations
 
-from array import array
 from typing import Dict, Optional
 
 from ..common.config import CacheGeometry
@@ -89,15 +88,18 @@ class SetAssociativeCache:
         self._ways = geometry.ways
         self._set_mask = geometry.sets - 1
         total = geometry.sets * geometry.ways
+        self._total_lines = total
         self._state = bytearray(total)
-        # 'Q' (unsigned): CEASER stores full 64-bit encrypted addresses
-        # as tags, which overflow a signed column.
-        self._addr = array("Q", bytes(8 * total))
-        self._core = array("i", b"\xff\xff\xff\xff" * total)  # -1 everywhere
-        self._sdid = array("i", bytes(4 * total))
+        # Integer columns are plain lists: stores keep a reference to
+        # the caller's int (CEASER's full 64-bit encrypted tags
+        # included) and reads skip the array-type box/unbox, which the
+        # LRU victim scan pays min()-times per fill.
+        self._addr = [0] * total
+        self._core = [-1] * total
+        self._sdid = [0] * total
         self._reused = bytearray(total)
-        self._repl = array("q", bytes(8 * total))
-        self._epoch = array("q", bytes(8 * total))
+        self._repl = [0] * total
+        self._epoch = [0] * total
         #: line_addr -> flat index (set * ways + way) for O(1) lookup.
         self._where: Dict[int, int] = {}
         self._where_get = self._where.get  # bound once; never rebound
@@ -172,7 +174,61 @@ class SetAssociativeCache:
             st.demand_accesses += 1
             pcm = st.per_core_misses
             pcm[core_id] = pcm.get(core_id, 0) + 1
-        return self._fill_fast(line_addr, is_write or is_writeback, core_id, sdid)
+        # _fill_fast inlined (hot path; behaviour identical).
+        ways = self._ways
+        base = (line_addr & self._set_mask) * ways
+        state = self._state
+        repl = self._repl
+        where = self._where
+        if len(where) == self._total_lines:
+            idx = -1  # every line valid: the invalid-way scan cannot hit
+        else:
+            idx = state.find(_INVALID, base, base + ways)
+        flags = 0
+        if idx < 0:
+            if self._lru:
+                window = repl[base : base + ways]
+                idx = base + window.index(min(window))
+            else:
+                idx = self._policy_victim(repl, base, ways)
+            # _evict_fast inlined (hot path; behaviour identical).
+            vstate = state[idx]
+            vdirty = vstate >= _DIRTY_MIN
+            addr = self._addr[idx]
+            vcore = self._core[idx]
+            reused = self._reused[idx]
+            self.victim_addr = addr
+            self.victim_core = vcore
+            self.victim_sdid = self._sdid[idx]
+            self.victim_reused = bool(reused)
+            st.evictions += 1
+            if vdirty:
+                st.dirty_evictions += 1
+                flags = ACC_EVICTED | ACC_EVICTED_DIRTY
+            else:
+                flags = ACC_EVICTED
+            if not reused:
+                st.dead_evictions += 1
+            if vcore >= 0 and vcore != core_id:
+                st.interference_evictions += 1
+            del where[addr]
+        state[idx] = _MODIFIED if is_write or is_writeback else _EXCLUSIVE
+        self._addr[idx] = line_addr
+        self._core[idx] = core_id
+        self._sdid[idx] = sdid
+        self._reused[idx] = 0
+        self._fill_epoch += 1
+        self._epoch[idx] = self._fill_epoch
+        where[line_addr] = idx
+        if self._lru:
+            policy = self._policy
+            policy._clock += 1
+            repl[idx] = policy._clock
+        else:
+            self._policy_on_fill(repl, base, ways, idx)
+        st.fills += 1
+        st.data_fills += 1
+        return flags
 
     def access(
         self,
@@ -200,60 +256,6 @@ class SetAssociativeCache:
                 was_reused=self.victim_reused,
             )
         return AccessResult(hit=False, evicted=evicted)
-
-    def _fill_fast(self, line_addr: int, dirty: bool, core_id: int, sdid: int) -> int:
-        ways = self._ways
-        base = (line_addr & self._set_mask) * ways
-        state = self._state
-        repl = self._repl
-        idx = state.find(_INVALID, base, base + ways)
-        flags = 0
-        if idx < 0:
-            if self._lru:
-                window = repl[base : base + ways]
-                idx = base + window.index(min(window))
-            else:
-                idx = self._policy_victim(repl, base, ways)
-            # _evict_fast inlined (hot path; behaviour identical).
-            vstate = state[idx]
-            vdirty = vstate >= _DIRTY_MIN
-            addr = self._addr[idx]
-            vcore = self._core[idx]
-            reused = self._reused[idx]
-            self.victim_addr = addr
-            self.victim_core = vcore
-            self.victim_sdid = self._sdid[idx]
-            self.victim_reused = bool(reused)
-            st = self.stats
-            st.evictions += 1
-            if vdirty:
-                st.dirty_evictions += 1
-                flags = ACC_EVICTED | ACC_EVICTED_DIRTY
-            else:
-                flags = ACC_EVICTED
-            if not reused:
-                st.dead_evictions += 1
-            if vcore >= 0 and vcore != core_id:
-                st.interference_evictions += 1
-            del self._where[addr]
-        state[idx] = _MODIFIED if dirty else _EXCLUSIVE
-        self._addr[idx] = line_addr
-        self._core[idx] = core_id
-        self._sdid[idx] = sdid
-        self._reused[idx] = 0
-        self._fill_epoch += 1
-        self._epoch[idx] = self._fill_epoch
-        self._where[line_addr] = idx
-        if self._lru:
-            policy = self._policy
-            policy._clock += 1
-            repl[idx] = policy._clock
-        else:
-            self._policy_on_fill(repl, base, ways, idx)
-        st = self.stats
-        st.fills += 1
-        st.data_fills += 1
-        return flags
 
     def _evict_fast(self, idx: int, filler_core: int) -> int:
         state = self._state[idx]

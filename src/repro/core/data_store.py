@@ -6,8 +6,8 @@ a reverse pointer (RPTR) to its owning priority-1 tag so *global random
 data eviction* - pick a uniformly random data entry, demote its tag -
 is O(1).  A free list serves fills while the store is warming up.
 
-Storage: the RPTRs live in a single ``array('q')`` column (free entries
-hold ``NO_TAG``); :meth:`entry` materializes a :class:`DataEntry`
+Storage: the RPTRs live in a single flat column (free entries hold
+``NO_TAG``); :meth:`entry` materializes a :class:`DataEntry`
 snapshot for introspection but the engines read :meth:`rptr_of`
 directly.  Behaviour - including the RNG draw order of
 :meth:`random_victim` - is identical to the object-model reference in
@@ -16,7 +16,6 @@ directly.  Behaviour - including the RNG draw order of
 
 from __future__ import annotations
 
-from array import array
 from dataclasses import dataclass
 from typing import Optional
 
@@ -44,7 +43,7 @@ class DataStore:
     def __init__(self, entries: int, seed: Optional[int] = None):
         if entries <= 0:
             raise SimulationError(f"data store needs a positive size, got {entries}")
-        self._rptr = array("q", [NO_TAG]) * entries
+        self._rptr = [NO_TAG] * entries
         self._free = list(range(entries - 1, -1, -1))
         self._rng = make_rng(seed)
         # randrange(n) is a thin wrapper over _randbelow(n); calling the

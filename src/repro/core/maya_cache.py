@@ -107,6 +107,19 @@ class MayaCache:
             if skew_policy == "load_aware"
             else self.tags.pick_skew_random
         )
+        # The dominant install path inlines the two-skew load-aware
+        # pick; anything else dispatches through _pick_skew.
+        self._fast_pick = skew_policy == "load_aware" and self.tags._skews == 2
+        rand = self.tags.randomizer
+        bits = rand._index_bits
+        # ... and, for the splitmix hash, the mixer itself (keys are
+        # re-read per miss because rekey() replaces them).  The XOR
+        # fold over 64/bits chunks is precomputed as shift offsets:
+        # masking distributes over XOR, so the chunk fold equals
+        # ``(x ^ x>>bits ^ x>>2*bits ^ ...) & mask`` for any width.
+        self._fast_mix = self._fast_pick and rand._algorithm == "splitmix"
+        self._mix_shifts = tuple(range(bits, 64, bits))
+        self._mix_mask = (1 << bits) - 1
         self._tag_where_get = self.tags._where.get
         self.data = DataStore(self.config.data_entries, seed=derive_seed(self.config.rng_seed, 3))
         self._rng = make_rng(derive_seed(self.config.rng_seed, 4))
@@ -173,7 +186,7 @@ class MayaCache:
                 pcm = st.per_core_misses
                 pcm[core_id] = pcm.get(core_id, 0) + 1
             st.tag_only_hits += 1
-            return ACC_TAG_HIT | self._promote(tag_idx, dirty=is_write or is_writeback, core_id=core_id)
+            return ACC_TAG_HIT | self._promote(tag_idx, is_write or is_writeback, core_id)
 
         # Tag miss.
         st.misses += 1
@@ -272,6 +285,20 @@ class MayaCache:
         self.flush_all()
         self.tags.randomizer.rekey()
 
+    def bulk_map(self, line_addrs, sdid: int = 0) -> int:
+        """Pre-warm the index randomizer for a known address set.
+
+        Compiled-trace replay (:func:`repro.hierarchy.simulator.run_mix`)
+        calls this with every unique line a trace can touch; see
+        :meth:`repro.crypto.randomizer.IndexRandomizer.bulk_map`.
+        """
+        return self.tags.randomizer.bulk_map(line_addrs, sdid)
+
+    @property
+    def mapping_cache_capacity(self) -> int:
+        """LRU mapping-cache capacity (drives the pre-warm heuristic)."""
+        return self.tags.randomizer.memo_capacity
+
     def contains(self, line_addr: int, sdid: int = 0) -> bool:
         """Is the line resident *with data* (priority-1)?"""
         tag_idx = self.tags.lookup(line_addr, sdid)
@@ -331,13 +358,69 @@ class MayaCache:
         of the same name (the differential tests enforce it).
         """
         self.installs += 1
-        if self._evicted_p0_window.pop((line_addr, sdid), None):
+        window = self._evicted_p0_window
+        if window.pop((line_addr, sdid), None):
             self.premature_p0_evictions += 1
         flags = 0
         tags = self.tags
         ways = tags._ways
         state = tags._state
-        skew, set_idx = self._pick_skew(line_addr, sdid)
+        if self._fast_pick:
+            # pick_skew_load_aware inlined for two skews (the hottest
+            # call on the install path): same memo LRU discipline,
+            # counter updates, and tie-break draw.
+            rand = tags.randomizer
+            memo = rand._memo
+            mkey = (line_addr, sdid)
+            indices = memo.pop(mkey, None)
+            if indices is None:
+                rand.cache_misses += 1
+                if self._fast_mix:
+                    # IndexRandomizer._raw_indices (splitmix, two
+                    # skews) inlined - the cipher pass per install
+                    # miss.  Identical mixing; the precomputed-shift
+                    # XOR fold equals the chunk fold for any width.
+                    k0, k1 = rand._mix_keys
+                    shifts = self._mix_shifts
+                    m = self._mix_mask
+                    tweaked = line_addr ^ (sdid << 56)
+                    x = (tweaked ^ k0) & 0xFFFFFFFFFFFFFFFF
+                    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+                    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+                    x ^= x >> 31
+                    f0 = x
+                    for s in shifts:
+                        f0 ^= x >> s
+                    x = (tweaked ^ k1) & 0xFFFFFFFFFFFFFFFF
+                    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+                    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+                    x ^= x >> 31
+                    f1 = x
+                    for s in shifts:
+                        f1 ^= x >> s
+                    indices = (f0 & m, f1 & m)
+                else:
+                    indices = rand._raw_indices(line_addr, sdid)
+                if len(memo) >= rand._memo_capacity:
+                    del memo[next(iter(memo))]
+            else:
+                rand.cache_hits += 1
+            memo[mkey] = indices
+            vc = tags._valid_count
+            i0 = indices[0]
+            i1 = indices[1]
+            l0 = vc[i0]
+            l1 = vc[tags._sets + i1]
+            if l0 < l1:
+                skew, set_idx = 0, i0
+            elif l1 < l0:
+                skew, set_idx = 1, i1
+            elif tags._randbelow(2):
+                skew, set_idx = 1, i1
+            else:
+                skew, set_idx = 0, i0
+        else:
+            skew, set_idx = self._pick_skew(line_addr, sdid)
         base = (skew * tags._sets + set_idx) * ways
         slot = state.find(0, base, base + ways)
         if slot < 0:
@@ -354,12 +437,13 @@ class MayaCache:
         state[slot] = _P0
         tags._fptr[slot] = NO_DATA
         pool = tags._p0_pool
-        tags._p0_pos[slot] = len(pool)
+        pos_map = tags._p0_pos
+        pos_map[slot] = n = len(pool)
         pool.append(slot)
         tags._valid_count[slot // ways] += 1
         tags._where[(line_addr << 16) | sdid] = slot
         self.stats.fills += 1
-        n = len(pool)
+        n += 1
         if self._global_tag_eviction and n > self._p0_capacity:
             # Global random tag eviction, inlined: random_priority0
             # (excluding the fresh install) + invalidate_fast.
@@ -371,15 +455,14 @@ class MayaCache:
                 victim = pool[(i + 1) % n]
             victim_addr = tags._addr[victim]
             victim_sdid = tags._sdid[victim]
-            window = self._evicted_p0_window
             window[(victim_addr, victim_sdid)] = True
             if len(window) > self._evicted_p0_window_size:
                 del window[next(iter(window))]
-            pos = tags._p0_pos.pop(victim)
+            pos = pos_map.pop(victim)
             last = pool.pop()
             if last != victim:
                 pool[pos] = last
-                tags._p0_pos[last] = pos
+                pos_map[last] = pos
             tags._valid_count[victim // ways] -= 1
             del tags._where[(victim_addr << 16) | victim_sdid]
             state[victim] = 0

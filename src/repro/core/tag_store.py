@@ -29,7 +29,6 @@ object-model reference in ``repro.reference.tag_store``.
 from __future__ import annotations
 
 import enum
-from array import array
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -200,12 +199,15 @@ class SkewedTagStore:
         self._indices_of = self.randomizer._lookup
         total = config.tag_entries
         self._state = bytearray(total)
-        self._addr = array("Q", bytes(8 * total))
-        self._sdid = array("i", bytes(4 * total))
-        self._core = array("i", b"\xff\xff\xff\xff" * total)  # -1 everywhere
+        # Integer columns are plain lists: stores keep a reference to
+        # the caller's int and reads skip the array-type box/unbox on
+        # the install/evict hot path.
+        self._addr = [0] * total
+        self._sdid = [0] * total
+        self._core = [-1] * total
         self._dirty = bytearray(total)
         self._reused = bytearray(total)
-        self._fptr = array("q", [NO_DATA]) * total
+        self._fptr = [NO_DATA] * total
         #: Valid entries per (skew, set), for load-aware skew selection.
         #: Flat list indexed ``skew * sets + set_idx`` (== tag_idx // ways),
         #: so the per-access update is a single divide.

@@ -16,7 +16,9 @@ serial run.  ``--json PATH`` writes a machine-readable summary with
 per-experiment wall-clock timings.  ``--memo-capacity N`` sizes the
 randomized designs' LRU mapping cache (exported as the
 ``REPRO_MEMO_CAPACITY`` environment variable so worker processes and
-nested tooling inherit it).  A failing experiment no longer
+nested tooling inherit it).  ``--no-trace-cache`` disables the on-disk
+compiled-trace cache (``REPRO_TRACE_CACHE=0``), forcing every stream
+to be recompiled in-process.  A failing experiment no longer
 aborts the sweep: the remaining experiments still run and the exit
 status is 1.
 """
@@ -31,6 +33,7 @@ import os
 from typing import Callable, Dict, List, Optional, Tuple
 
 from . import runner
+from ..trace.compiled import TRACE_CACHE_ENV
 from .presets import MEMO_CAPACITY_ENV
 
 #: Experiment registry: name -> (description, module basename under
@@ -180,7 +183,16 @@ def main(argv=None) -> int:
         help="randomizer mapping-cache entries for the randomized designs "
         "(default 2**20; exported as %s so --jobs workers inherit it)" % MEMO_CAPACITY_ENV,
     )
+    parser.add_argument(
+        "--no-trace-cache", action="store_true",
+        help="disable the on-disk compiled-trace cache (exported as "
+        "%s=0 so --jobs workers inherit it; streams are recompiled "
+        "in-process instead of loaded from results/.trace_cache)" % TRACE_CACHE_ENV,
+    )
     args = parser.parse_args(argv)
+
+    if args.no_trace_cache:
+        os.environ[TRACE_CACHE_ENV] = "0"
 
     if args.memo_capacity is not None:
         if args.memo_capacity <= 0:

@@ -21,6 +21,11 @@ class DramModel:
     def __init__(self, config: Optional[DramConfig] = None, line_bytes: int = DEFAULT_LINE_BYTES):
         self.config = config or DramConfig()
         self._lines_per_row_shift = log2_exact(self.config.row_buffer_bytes // line_bytes)
+        # Scalars hoisted off the config dataclass (read on every access).
+        self._row_hit_cycles = self.config.row_hit_cycles
+        self._row_miss_cycles = self.config.row_miss_cycles
+        self._service_cycles = self.config.service_cycles
+        self._banks = self.config.banks
         self._open_rows: Dict[int, int] = {}
         self._busy_until = 0.0
         self.reads = 0
@@ -46,21 +51,22 @@ class DramModel:
         queue_delay = 0.0
         if now is not None:
             queue_delay = max(0.0, self._busy_until - now)
-            self._busy_until = max(self._busy_until, now) + self.config.service_cycles
+            self._busy_until = max(self._busy_until, now) + self._service_cycles
             self.queue_cycles += queue_delay
         if is_write:
             self.writes += 1
-            return self.config.row_miss_cycles + queue_delay
+            return self._row_miss_cycles + queue_delay
         row = line_addr >> self._lines_per_row_shift
-        bank = row % self.config.banks
-        hit = self._open_rows.get(bank) == row
-        self._open_rows[bank] = row
+        bank = row % self._banks
+        open_rows = self._open_rows
+        hit = open_rows.get(bank) == row
+        open_rows[bank] = row
         self.reads += 1
         if hit:
             self.row_hits += 1
-            return self.config.row_hit_cycles + queue_delay
+            return self._row_hit_cycles + queue_delay
         self.row_misses += 1
-        return self.config.row_miss_cycles + queue_delay
+        return self._row_miss_cycles + queue_delay
 
     @property
     def row_hit_rate(self) -> float:

@@ -22,6 +22,11 @@ _NO_PREFETCHES: List[int] = []
 class StridePrefetcher:
     """Confidence-based constant-stride prefetcher for one core."""
 
+    __slots__ = (
+        "degree", "confidence_threshold", "max_confidence",
+        "_last_addr", "_last_stride", "_confidence", "issued",
+    )
+
     def __init__(self, degree: int = 2, confidence_threshold: int = 2, max_confidence: int = 4):
         if degree < 1:
             raise ValueError("prefetch degree must be at least 1")

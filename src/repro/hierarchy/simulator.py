@@ -7,6 +7,19 @@ core slowed by misses naturally issues fewer accesses, exactly the
 coupling that creates inter-core LLC interference - and statistics are
 collected after a warm-up phase, following the paper's methodology
 (200M warm-up + 200M measured instructions per core, scaled down).
+
+Two drive loops produce bit-identical results:
+
+* the **compiled fast path** (default) replays
+  :class:`~repro.trace.compiled.CompiledTrace` packed columns with
+  plain integer indexing - no generator resumes, no per-access object
+  construction - and can pre-warm a randomized LLC's mapping cache via
+  ``bulk_map`` before the timed loop (opt-in; see ``run_mix``);
+* the **generator path** (``compiled=False``) pulls
+  :class:`~repro.trace.record.MemoryAccess` records out of the
+  synthetic generators one at a time.  It is the oracle:
+  ``tests/test_compiled_replay.py`` requires both paths to produce
+  bit-identical ``CacheStats`` and per-core IPCs.
 """
 
 from __future__ import annotations
@@ -18,6 +31,7 @@ from typing import List, Optional, Sequence
 from ..common.config import SystemConfig
 from ..common.rng import derive_seed
 from ..llc.interface import LLCache
+from ..trace.compiled import compile_workload
 from ..trace.mixes import Mix
 from ..trace.workloads import get_workload
 from .system import CacheHierarchy
@@ -60,6 +74,96 @@ class MixResult:
         return [c.ipc for c in self.cores]
 
 
+def _drive_compiled(
+    hierarchy_access,
+    columns: List[tuple],
+    positions: List[int],
+    clocks: List[float],
+    instructions: List[int],
+    base_cpi: float,
+    per_core: int,
+    model_bandwidth: bool,
+) -> None:
+    """One time-ordered phase over packed columns (the batched loop).
+
+    Replays ``per_core`` records per core with plain integer indexing:
+    no generator resumes, no ``MemoryAccess`` construction, bound
+    methods hoisted out of the loop.  ``positions`` carries each core's
+    cursor across phases (warm-up then measurement).
+    """
+    cores = range(len(columns))
+    limits = [positions[c] + per_core for c in cores]
+    heap = [(clocks[c], c) for c in cores]
+    heapq.heapify(heap)
+    heappop, heappush = heapq.heappop, heapq.heappush
+    if not model_bandwidth:
+        # Specialized copy of the loop below with ``now`` pinned to
+        # None (the common case): one branch and one list index fewer
+        # per access.
+        while heap:
+            _, c = heappop(heap)
+            addrs, writes, gaps, offset = columns[c]
+            i = positions[c]
+            latency = hierarchy_access(c, addrs[i] + offset, writes[i] != 0, None)
+            gap = gaps[i]
+            clock = clocks[c] + gap * base_cpi + latency
+            clocks[c] = clock
+            instructions[c] += gap + 1
+            positions[c] = i = i + 1
+            if i < limits[c]:
+                heappush(heap, (clock, c))
+        return
+    while heap:
+        _, c = heappop(heap)
+        addrs, writes, gaps, offset = columns[c]
+        i = positions[c]
+        latency = hierarchy_access(
+            c,
+            addrs[i] + offset,
+            writes[i] != 0,
+            clocks[c],
+        )
+        gap = gaps[i]
+        clock = clocks[c] + gap * base_cpi + latency
+        clocks[c] = clock
+        instructions[c] += gap + 1
+        positions[c] = i = i + 1
+        if i < limits[c]:
+            heappush(heap, (clock, c))
+
+
+def _drive_generator(
+    hierarchy_access,
+    streams: List[tuple],
+    clocks: List[float],
+    instructions: List[int],
+    base_cpi: float,
+    per_core: int,
+    model_bandwidth: bool,
+) -> None:
+    """One time-ordered phase pulling records out of the generators."""
+    cores = range(len(streams))
+    done = [0] * len(streams)
+    heap = [(clocks[c], c) for c in cores]
+    heapq.heapify(heap)
+    heappop, heappush = heapq.heappop, heapq.heappush
+    while heap:
+        _, c = heappop(heap)
+        stream, offset = streams[c]
+        access = next(stream)
+        latency = hierarchy_access(
+            c,
+            access.line_addr + offset,
+            access.is_write,
+            clocks[c] if model_bandwidth else None,
+        )
+        clocks[c] += access.gap * base_cpi + latency
+        instructions[c] += access.gap + 1
+        done[c] += 1
+        if done[c] < per_core:
+            heappush(heap, (clocks[c], c))
+
+
 def run_mix(
     llc: LLCache,
     mix: Mix,
@@ -69,6 +173,9 @@ def run_mix(
     seed: Optional[int] = None,
     enable_prefetch: bool = True,
     model_bandwidth: bool = False,
+    compiled: Optional[bool] = None,
+    trace_cache: Optional[bool] = None,
+    prewarm_mappings: bool = False,
 ) -> MixResult:
     """Simulate ``mix`` over ``llc``; returns per-core IPCs + LLC stats.
 
@@ -77,6 +184,26 @@ def run_mix(
     capacity, which is the effect under study.  ``model_bandwidth``
     turns on DRAM channel-occupancy queueing (cores' clocks feed the
     controller), which matters for bandwidth-bound streaming mixes.
+
+    ``compiled`` selects the drive loop: ``None``/``True`` (default)
+    replays compiled packed traces; ``False`` forces the original
+    generator path (the differential oracle).  Both produce
+    bit-identical results.  ``trace_cache`` is forwarded to
+    :func:`repro.trace.compiled.compile_workload` (``None`` honours the
+    ``REPRO_TRACE_CACHE`` environment variable; ``False`` recompiles
+    every call).
+
+    ``prewarm_mappings=True`` (compiled path only) pre-warms a
+    randomized LLC's mapping cache via ``bulk_map`` with every
+    ``(line, SDID)`` pair in the compiled traces before the timed
+    loops.  It never changes results or mapping-cache counters (see
+    :meth:`repro.crypto.randomizer.IndexRandomizer.bulk_map`) but it
+    is off by default because it measures as a net slowdown in every
+    tested regime: the memo already dedups cipher work below its
+    capacity, and above it the private cache levels filter so many
+    accesses that the trace's unique-line count exceeds the number of
+    cipher misses the LLC actually takes - batching then does strictly
+    more cipher work than it saves.
     """
     config = config or SystemConfig(cores=mix.cores)
     if config.cores < mix.cores:
@@ -88,68 +215,86 @@ def run_mix(
     # patterns land on different baseline sets - as distinct physical
     # allocations would.
     region = (1 << 34) + 997
-    streams = []
-    for core_id, bench in enumerate(mix.assignments):
-        spec = get_workload(bench)
-        stream = spec.stream(llc_lines, seed=derive_seed(seed, 100 + core_id))
-        streams.append((core_id, bench, stream, core_id * region))
-
     base_cpi = config.base_cpi
-    clocks = [0.0] * mix.cores
-    done_accesses = [0] * mix.cores
-    instructions = [0] * mix.cores
-    hierarchy_access = hierarchy.access  # bound once; hot loop below
+    cores = mix.cores
+    clocks = [0.0] * cores
+    instructions = [0] * cores
+    hierarchy_access = hierarchy.access  # bound once; hot loops below
+    use_compiled = compiled is None or compiled
 
-    def step(core_id: int, stream, offset: int) -> None:
-        access = next(stream)
-        latency = hierarchy_access(
-            core_id,
-            access.line_addr + offset,
-            access.is_write,
-            now=clocks[core_id] if model_bandwidth else None,
-        )
-        clocks[core_id] += access.gap * base_cpi + latency
-        instructions[core_id] += access.gap + 1
-        done_accesses[core_id] += 1
+    if use_compiled:
+        # The measurement phase issues max(1, accesses_per_core) records
+        # per core (the drive loop steps each core at least once), so the
+        # compiled trace must cover exactly that many plus warm-up.
+        length = warmup_accesses + max(1, accesses_per_core)
+        traces = [
+            compile_workload(
+                bench,
+                llc_lines,
+                length,
+                seed=derive_seed(seed, 100 + core_id),
+                use_cache=trace_cache,
+            )
+            for core_id, bench in enumerate(mix.assignments)
+        ]
+        columns: List[tuple] = [
+            (trace.line_addrs, trace.write_flags, trace.gaps, core_id * region)
+            for core_id, trace in enumerate(traces)
+        ]
+        # Pre-warm randomized designs' mapping caches: every (line, sdid)
+        # pair the replay can touch is encrypted in one tight pass
+        # before the timed loops (the hierarchy passes sdid=core_id).
+        if prewarm_mappings:
+            bulk_map = getattr(llc, "bulk_map", None)
+            if bulk_map is not None:
+                for core_id, trace in enumerate(traces):
+                    bulk_map(trace.unique_lines(core_id * region), sdid=core_id)
+        positions = [0] * cores
+
+        def phase(per_core: int) -> None:
+            _drive_compiled(
+                hierarchy_access, columns, positions, clocks, instructions,
+                base_cpi, per_core, model_bandwidth,
+            )
+
+    else:
+        streams: List[tuple] = []
+        for core_id, bench in enumerate(mix.assignments):
+            spec = get_workload(bench)
+            stream = spec.stream(llc_lines, seed=derive_seed(seed, 100 + core_id))
+            streams.append((stream, core_id * region))
+
+        def phase(per_core: int) -> None:
+            _drive_generator(
+                hierarchy_access, streams, clocks, instructions,
+                base_cpi, per_core, model_bandwidth,
+            )
 
     # Warm-up: run every core for `warmup_accesses`, time-ordered.
-    heap = [(0.0, core_id) for core_id in range(mix.cores)]
-    heapq.heapify(heap)
-    total_warm = warmup_accesses * mix.cores
-    for _ in range(total_warm):
-        _, core_id = heapq.heappop(heap)
-        _, bench, stream, offset = streams[core_id]
-        step(core_id, stream, offset)
-        if done_accesses[core_id] < warmup_accesses:
-            heapq.heappush(heap, (clocks[core_id], core_id))
+    if warmup_accesses > 0:
+        phase(warmup_accesses)
 
     # Reset statistics and clocks, keep cache contents (warm caches).
     hierarchy.reset_stats()
-    clocks = [0.0] * mix.cores
-    done_accesses = [0] * mix.cores
-    instructions = [0] * mix.cores
+    clocks[:] = [0.0] * cores
+    instructions[:] = [0] * cores
 
-    heap = [(0.0, core_id) for core_id in range(mix.cores)]
-    heapq.heapify(heap)
-    while heap:
-        _, core_id = heapq.heappop(heap)
-        _, bench, stream, offset = streams[core_id]
-        step(core_id, stream, offset)
-        if done_accesses[core_id] < accesses_per_core:
-            heapq.heappush(heap, (clocks[core_id], core_id))
+    phase(accesses_per_core)
 
     refresh_mapping_cache = getattr(llc, "refresh_mapping_cache_stats", None)
     if refresh_mapping_cache is not None:
         refresh_mapping_cache()
     stats = llc.stats
     total_instructions = sum(instructions)
-    cores = [
-        CoreResult(benchmark=streams[c][1], instructions=instructions[c], cycles=clocks[c])
-        for c in range(mix.cores)
+    core_results = [
+        CoreResult(
+            benchmark=mix.assignments[c], instructions=instructions[c], cycles=clocks[c]
+        )
+        for c in range(cores)
     ]
     return MixResult(
         mix_name=mix.name,
-        cores=cores,
+        cores=core_results,
         llc_mpki=stats.mpki(total_instructions) if total_instructions else 0.0,
         llc_dead_fraction=stats.dead_block_fraction,
         llc_interference_fraction=stats.interference_fraction,

@@ -89,89 +89,146 @@ class CacheHierarchy:
         self._l1_cycles = float(lat.l1_cycles)
         self._l2_cycles = lat.l2_cycles
         self._llc_cycles = lat.llc_cycles
+        # The demand path is compiled into a closure: every collaborator
+        # lives in a closure cell instead of behind a self.X attribute
+        # chain, which removes ~15 attribute loads per access.  The
+        # hierarchy is immutable after construction (nothing rebinds
+        # self.llc / self.l1 / ...), so the captured references stay
+        # authoritative; the differential and hierarchy tests pin the
+        # behaviour.
+        self.access = self._compile_access()
 
     # -- demand path -----------------------------------------------------------
 
-    def access(
-        self, core_id: int, line_addr: int, is_write: bool = False, now: Optional[float] = None
-    ) -> float:
-        """One demand access; returns the core-visible latency in cycles.
+    def _compile_access(self):
+        """Build ``access(core_id, line_addr, is_write, now)``.
 
+        One demand access; returns the core-visible latency in cycles.
         ``now`` (the issuing core's clock) enables the DRAM bandwidth
         model; left as ``None``, memory bandwidth is unmodelled.
         """
-        latency = self._l1_cycles
-        tlb = self.tlbs[core_id]
-        if tlb is not None:
-            latency += tlb.translate(line_addr)
-        if self.directory is not None:
-            self._coherence_actions(core_id, line_addr, is_write, now)
-        l1 = self.l1[core_id]
-        f1 = l1.access_fast(line_addr, is_write=is_write, core_id=core_id)
-        if f1 & ACC_EVICTED:
-            v1_addr = l1.victim_addr
-            if f1 & ACC_EVICTED_DIRTY:
-                self._writeback_to_l2(core_id, v1_addr, now)
-            if self.directory is not None:
-                self._note_private_eviction(core_id, v1_addr)
-        # Train on the demand stream (as PC-indexed IPCP effectively
-        # does); issuing is cheap because already-resident targets
-        # short-circuit in _prefetch.
-        prefetcher = self.prefetchers[core_id]
-        if prefetcher is not None:
-            for target in prefetcher.observe(line_addr):
-                self._prefetch(core_id, target, now)
-        if f1 & ACC_HIT:
-            return latency
-
-        latency += self._l2_cycles
-        l2 = self.l2[core_id]
-        f2 = l2.access_fast(line_addr, core_id=core_id)
-        if f2 & ACC_EVICTED:
-            v2_addr = l2.victim_addr
-            if f2 & ACC_EVICTED_DIRTY:
-                self._writeback_to_llc(core_id, v2_addr, now)
-            if self.directory is not None:
-                self._note_private_eviction(core_id, v2_addr)
-        if f2 & ACC_HIT:
-            return latency
-
+        l1s = self.l1
+        l2s = self.l2
+        prefetchers = self.prefetchers
+        tlbs = self.tlbs
+        directory = self.directory
         llc = self.llc
-        if self._fast_llc:
-            f3 = llc.access_fast(line_addr, core_id=core_id, sdid=core_id)
-            latency += self._llc_cycles + llc.extra_lookup_latency
-            if f3 & ACC_EVICTED_DIRTY:
-                self.dram.access(llc.victim_addr, is_write=True, now=now)
-            if not f3 & ACC_HIT:
-                latency += self.dram.access(line_addr, now=now) / self.mlp_factor
+        fast_llc = self._fast_llc
+        dram_access = self.dram.access
+        l1_cycles = self._l1_cycles
+        l2_cycles = self._l2_cycles
+        llc_cycles = self._llc_cycles
+        # access_fast engines promise a constant extra lookup latency,
+        # so it folds into the per-level charge once.
+        llc_fast_cycles = llc_cycles + (llc.extra_lookup_latency if fast_llc else 0)
+        mlp_factor = self.mlp_factor
+        writeback_to_l2 = self._writeback_to_l2
+        writeback_to_llc = self._writeback_to_llc
+        prefetch_fill = self._prefetch
+        coherence_actions = self._coherence_actions
+        note_private_eviction = self._note_private_eviction
+        spill_to_dram = self._spill_to_dram
+
+        def access(core_id, line_addr, is_write=False, now=None):
+            latency = l1_cycles
+            tlb = tlbs[core_id]
+            if tlb is not None:
+                latency += tlb.translate(line_addr)
+            if directory is not None:
+                coherence_actions(core_id, line_addr, is_write, now)
+            l1 = l1s[core_id]
+            f1 = l1.access_fast(line_addr, is_write, core_id)
+            if f1 & ACC_EVICTED:
+                v1_addr = l1.victim_addr
+                if f1 & ACC_EVICTED_DIRTY:
+                    writeback_to_l2(core_id, v1_addr, now)
+                if directory is not None:
+                    note_private_eviction(core_id, v1_addr)
+            # Train on the demand stream (as PC-indexed IPCP effectively
+            # does); issuing is cheap because already-resident targets
+            # short-circuit in _prefetch.  StridePrefetcher.observe() is
+            # inlined here - one call per demand access - with identical
+            # state updates and prefetch order.
+            prefetcher = prefetchers[core_id]
+            if prefetcher is not None:
+                last = prefetcher._last_addr
+                if last < 0:
+                    prefetcher._last_addr = line_addr
+                else:
+                    stride = line_addr - last
+                    if stride != 0 and stride == prefetcher._last_stride:
+                        conf = prefetcher._confidence + 1
+                        if conf > prefetcher.max_confidence:
+                            conf = prefetcher.max_confidence
+                    else:
+                        conf = prefetcher._confidence - 1
+                        if conf < 0:
+                            conf = 0
+                        prefetcher._last_stride = stride
+                    prefetcher._confidence = conf
+                    prefetcher._last_addr = line_addr
+                    stride = prefetcher._last_stride
+                    if conf >= prefetcher.confidence_threshold and stride != 0:
+                        issued = 0
+                        target = line_addr
+                        for _ in range(prefetcher.degree):
+                            target += stride
+                            if target >= 0:
+                                issued += 1
+                                prefetch_fill(core_id, target, now)
+                        prefetcher.issued += issued
+            if f1 & ACC_HIT:
+                return latency
+
+            latency += l2_cycles
+            l2 = l2s[core_id]
+            f2 = l2.access_fast(line_addr, False, core_id)
+            if f2 & ACC_EVICTED:
+                v2_addr = l2.victim_addr
+                if f2 & ACC_EVICTED_DIRTY:
+                    writeback_to_llc(core_id, v2_addr, now)
+                if directory is not None:
+                    note_private_eviction(core_id, v2_addr)
+            if f2 & ACC_HIT:
+                return latency
+
+            if fast_llc:
+                f3 = llc.access_fast(line_addr, False, core_id, False, core_id)
+                latency += llc_fast_cycles
+                if f3 & ACC_EVICTED_DIRTY:
+                    dram_access(llc.victim_addr, True, now)
+                if not f3 & ACC_HIT:
+                    latency += dram_access(line_addr, False, now) / mlp_factor
+                return latency
+            r3 = llc.access(line_addr, core_id=core_id, sdid=core_id)
+            latency += llc_cycles + r3.extra_latency
+            spill_to_dram(r3.evicted, now)
+            if not r3.hit:
+                latency += dram_access(line_addr, False, now) / mlp_factor
             return latency
-        r3 = llc.access(line_addr, core_id=core_id, sdid=core_id)
-        latency += self._llc_cycles + r3.extra_latency
-        self._spill_to_dram(r3.evicted, now)
-        if not r3.hit:
-            latency += self.dram.access(line_addr, now=now) / self.mlp_factor
-        return latency
+
+        return access
 
     def _prefetch(self, core_id: int, line_addr: int, now: Optional[float] = None) -> None:
         """Prefetch into L1/L2 (no latency charged; fills are real)."""
         l1 = self.l1[core_id]
-        if l1.contains(line_addr):
+        if line_addr in l1._where:  # contains(), sans the call (hot path)
             return
-        f1 = l1.access_fast(line_addr, core_id=core_id)
+        f1 = l1.access_fast(line_addr, False, core_id)
         if f1 & ACC_EVICTED_DIRTY:
             self._writeback_to_l2(core_id, l1.victim_addr, now)
         l2 = self.l2[core_id]
-        f2 = l2.access_fast(line_addr, core_id=core_id)
+        f2 = l2.access_fast(line_addr, False, core_id)
         if f2 & ACC_EVICTED_DIRTY:
             self._writeback_to_llc(core_id, l2.victim_addr, now)
         if not f2 & ACC_HIT:
             llc = self.llc
             if self._fast_llc:
-                f3 = llc.access_fast(line_addr, core_id=core_id, sdid=core_id)
+                f3 = llc.access_fast(line_addr, False, core_id, False, core_id)
                 if f3 & ACC_EVICTED_DIRTY:
-                    self.dram.access(llc.victim_addr, is_write=True, now=now)
+                    self.dram.access(llc.victim_addr, True, now)
                 if not f3 & ACC_HIT:
-                    self.dram.access(line_addr, now=now)
+                    self.dram.access(line_addr, False, now)
             else:
                 r3 = llc.access(line_addr, core_id=core_id, sdid=core_id)
                 self._spill_to_dram(r3.evicted, now)
@@ -215,16 +272,16 @@ class CacheHierarchy:
 
     def _writeback_to_l2(self, core_id: int, line_addr: int, now: Optional[float] = None) -> None:
         l2 = self.l2[core_id]
-        f = l2.access_fast(line_addr, core_id=core_id, is_writeback=True)
+        f = l2.access_fast(line_addr, False, core_id, True)
         if f & ACC_EVICTED_DIRTY:
             self._writeback_to_llc(core_id, l2.victim_addr, now)
 
     def _writeback_to_llc(self, core_id: int, line_addr: int, now: Optional[float] = None) -> None:
         llc = self.llc
         if self._fast_llc:
-            f = llc.access_fast(line_addr, core_id=core_id, is_writeback=True, sdid=core_id)
+            f = llc.access_fast(line_addr, False, core_id, True, core_id)
             if f & ACC_EVICTED_DIRTY:
-                self.dram.access(llc.victim_addr, is_write=True, now=now)
+                self.dram.access(llc.victim_addr, True, now)
             return
         r = llc.access(line_addr, core_id=core_id, is_writeback=True, sdid=core_id)
         self._spill_to_dram(r.evicted, now)

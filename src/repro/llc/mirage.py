@@ -21,7 +21,6 @@ the object-model reference in ``repro.reference.mirage``.
 
 from __future__ import annotations
 
-from array import array
 from typing import Dict, Optional
 
 from ..cache.line import (
@@ -80,12 +79,15 @@ class MirageCache(LLCache):
         # A tag entry is valid iff its FPTR >= 0; the separate validity
         # byte column exists so find-invalid-way is a C-speed .find().
         self._valid = bytearray(total)
-        self._addr = array("Q", bytes(8 * total))
-        self._sdid = array("i", bytes(4 * total))
-        self._core = array("i", b"\xff\xff\xff\xff" * total)  # -1 everywhere
+        # Integer columns are plain lists: stores keep a reference to
+        # the caller's int and reads skip the array-type box/unbox on
+        # the install/evict hot path.
+        self._addr = [0] * total
+        self._sdid = [0] * total
+        self._core = [-1] * total
         self._dirty = bytearray(total)
         self._reused = bytearray(total)
-        self._fptr = array("q", [-1]) * total
+        self._fptr = [-1] * total
         # Flat list indexed ``skew * sets + set_idx`` (== tag_idx // ways).
         self._valid_count = [0] * (self._skews * self._sets)
         #: packed (line_addr << 16 | sdid) -> tag index.
@@ -292,6 +294,20 @@ class MirageCache(LLCache):
 
     def contains(self, line_addr: int, sdid: int = 0) -> bool:
         return ((line_addr << 16) | sdid) in self._where
+
+    def bulk_map(self, line_addrs, sdid: int = 0) -> int:
+        """Pre-warm the index randomizer for a known address set.
+
+        Compiled-trace replay (:func:`repro.hierarchy.simulator.run_mix`)
+        calls this with every unique line a trace can touch; see
+        :meth:`repro.crypto.randomizer.IndexRandomizer.bulk_map`.
+        """
+        return self.randomizer.bulk_map(line_addrs, sdid)
+
+    @property
+    def mapping_cache_capacity(self) -> int:
+        """LRU mapping-cache capacity (drives the pre-warm heuristic)."""
+        return self.randomizer.memo_capacity
 
     @property
     def occupancy(self) -> int:

@@ -1,5 +1,14 @@
 """Trace substrate: access records, synthetic generators, workload mixes."""
 
+from .compiled import (
+    GENERATOR_VERSION,
+    TRACE_CACHE_ENV,
+    CompiledTrace,
+    compile_workload,
+    trace_cache_dir,
+    trace_cache_info,
+    trace_key,
+)
 from .io import materialize, read_trace, write_trace
 from .mixes import HETEROGENEOUS_MIXES, Mix, homogeneous, mixes_in_bin
 from .record import MemoryAccess, rebase, take
@@ -14,13 +23,17 @@ from .workloads import (
 
 __all__ = [
     "GAP_MEMORY_INTENSIVE",
+    "GENERATOR_VERSION",
     "HETEROGENEOUS_MIXES",
     "LLC_FITTING",
     "SPEC_MEMORY_INTENSIVE",
+    "TRACE_CACHE_ENV",
     "WORKLOADS",
+    "CompiledTrace",
     "MemoryAccess",
     "Mix",
     "WorkloadSpec",
+    "compile_workload",
     "get_workload",
     "homogeneous",
     "materialize",
@@ -28,5 +41,8 @@ __all__ = [
     "read_trace",
     "rebase",
     "take",
+    "trace_cache_dir",
+    "trace_cache_info",
+    "trace_key",
     "write_trace",
 ]

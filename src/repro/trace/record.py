@@ -38,6 +38,12 @@ class MemoryAccess:
             and self.gap == other.gap
         )
 
+    def __hash__(self) -> int:
+        # Defining __eq__ without __hash__ would set __hash__ to None
+        # and make records unhashable; the trace compiler dedups
+        # records via sets, so hash must agree with __eq__.
+        return hash((self.line_addr, self.is_write, self.gap))
+
 
 def rebase(trace: Iterable[MemoryAccess], offset_lines: int) -> Iterator[MemoryAccess]:
     """Shift every address by ``offset_lines`` (per-core private spaces).

@@ -1,8 +1,29 @@
 """Shared fixtures: small, fast configurations for unit tests."""
 
+import os
+
 import pytest
 
 from repro.common.config import CacheGeometry, MayaConfig, MirageConfig, SystemConfig
+from repro.trace.compiled import TRACE_CACHE_ENV
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_trace_cache(tmp_path_factory):
+    """Point the on-disk trace cache at a temp dir for the whole run.
+
+    Keeps test runs from writing into the repository's
+    ``results/.trace_cache/`` (and from *reading* stale traces out of
+    it).  Individual tests that need a private directory or a disabled
+    cache override the variable with ``monkeypatch.setenv``.
+    """
+    original = os.environ.get(TRACE_CACHE_ENV)
+    os.environ[TRACE_CACHE_ENV] = str(tmp_path_factory.mktemp("trace_cache"))
+    yield
+    if original is None:
+        os.environ.pop(TRACE_CACHE_ENV, None)
+    else:
+        os.environ[TRACE_CACHE_ENV] = original
 
 
 @pytest.fixture

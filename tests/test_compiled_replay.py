@@ -1,0 +1,150 @@
+"""Differential gate: compiled packed replay vs the generator oracle.
+
+``run_mix`` has two drive loops - the default batched replay over
+compiled packed columns and the original generator path.  The
+generator path is the oracle: for every design and stream shape the
+compiled path must produce *bit-identical* statistics (the raw
+``CacheStats`` counters, not just summary figures) and identical
+per-core instruction/cycle counts, with and without mapping-cache
+pre-warming.
+"""
+
+import pytest
+
+from repro.common.config import CacheGeometry, MayaConfig, MirageConfig, SystemConfig
+from repro.core.maya_cache import MayaCache
+from repro.hierarchy.simulator import run_mix
+from repro.llc.baseline import BaselineLLC
+from repro.llc.mirage import MirageCache
+from repro.trace.mixes import homogeneous
+
+
+def run_pair(make_llc, mix, system, *, prewarm=False, **kwargs):
+    """Run both drive loops on fresh LLCs; return their (llc, result)s."""
+    llc_gen, llc_cmp = make_llc(), make_llc()
+    r_gen = run_mix(llc_gen, mix, system, compiled=False, **kwargs)
+    r_cmp = run_mix(
+        llc_cmp, mix, system,
+        compiled=True, trace_cache=False, prewarm_mappings=prewarm, **kwargs,
+    )
+    return (llc_gen, r_gen), (llc_cmp, r_cmp)
+
+
+def assert_bit_identical(pair_gen, pair_cmp):
+    (llc_gen, r_gen), (llc_cmp, r_cmp) = pair_gen, pair_cmp
+    assert vars(llc_cmp.stats) == vars(llc_gen.stats)  # every raw counter
+    assert [c.instructions for c in r_cmp.cores] == [c.instructions for c in r_gen.cores]
+    assert [c.cycles for c in r_cmp.cores] == [c.cycles for c in r_gen.cores]
+    assert r_cmp.ipcs == r_gen.ipcs
+    assert r_cmp.llc_mpki == r_gen.llc_mpki
+    assert r_cmp.llc_randomizer_hit_rate == r_gen.llc_randomizer_hit_rate
+
+
+@pytest.fixture()
+def system():
+    return SystemConfig(
+        cores=2,
+        l1d_geometry=CacheGeometry(sets=4, ways=4),
+        l2_geometry=CacheGeometry(sets=16, ways=8),
+        llc_geometry=CacheGeometry(sets=64, ways=16),
+    )
+
+
+MAYA = dict(sets_per_skew=16, rng_seed=7, hash_algorithm="splitmix")
+
+
+class TestDesigns:
+    def test_maya(self, system):
+        a, b = run_pair(
+            lambda: MayaCache(MayaConfig(**MAYA)),
+            homogeneous("mcf", 2), system,
+            accesses_per_core=800, warmup_accesses=400, seed=11,
+        )
+        assert a[0].stats.accesses > 0
+        assert_bit_identical(a, b)
+
+    def test_mirage(self, system):
+        a, b = run_pair(
+            lambda: MirageCache(MirageConfig(sets_per_skew=16, rng_seed=7,
+                                             hash_algorithm="splitmix")),
+            homogeneous("mcf", 2), system,
+            accesses_per_core=800, warmup_accesses=400, seed=11,
+        )
+        assert_bit_identical(a, b)
+
+    def test_baseline(self, system):
+        a, b = run_pair(
+            lambda: BaselineLLC(system.llc_geometry),
+            homogeneous("mcf", 2), system,
+            accesses_per_core=800, warmup_accesses=400, seed=11,
+        )
+        assert_bit_identical(a, b)
+
+
+class TestStreamShapes:
+    def test_write_heavy_stream(self, system):
+        # lbm: streaming, 45% writes - exercises the writeback path.
+        a, b = run_pair(
+            lambda: MayaCache(MayaConfig(**MAYA)),
+            homogeneous("lbm", 2), system,
+            accesses_per_core=800, warmup_accesses=200, seed=5,
+        )
+        assert a[0].stats.writebacks_received > 0
+        assert_bit_identical(a, b)
+
+    def test_rekey_during_run(self, system):
+        # Tag store with no invalid-way reserve + rekey-on-SAE: the
+        # mapping keys change mid-replay, which must not desynchronize
+        # the two drive loops.
+        cfg = MayaConfig(
+            sets_per_skew=4, base_ways_per_skew=2, reuse_ways_per_skew=1,
+            invalid_ways_per_skew=0, rng_seed=5, hash_algorithm="splitmix",
+        )
+        a, b = run_pair(
+            lambda: MayaCache(cfg, on_sae="rekey", global_tag_eviction=False),
+            homogeneous("mcf", 2), system,
+            accesses_per_core=1200, warmup_accesses=300, seed=13,
+        )
+        assert a[0].stats.saes > 0
+        assert_bit_identical(a, b)
+
+    def test_zero_warmup(self, system):
+        a, b = run_pair(
+            lambda: MayaCache(MayaConfig(**MAYA)),
+            homogeneous("mcf", 2), system,
+            accesses_per_core=500, warmup_accesses=0, seed=3,
+        )
+        assert_bit_identical(a, b)
+
+    def test_heterogeneous_cores_interleave_identically(self, system):
+        from repro.trace.mixes import Mix
+
+        mix = Mix("mcf-lbm", ("mcf", "lbm"), "RATE")
+        a, b = run_pair(
+            lambda: MayaCache(MayaConfig(**MAYA)),
+            mix, system,
+            accesses_per_core=700, warmup_accesses=300, seed=17,
+        )
+        assert_bit_identical(a, b)
+
+
+class TestPrewarm:
+    def test_forced_prewarm_is_invisible_in_stats(self, system):
+        # Small memo so the run actually evicts mappings: pre-warming
+        # must still leave every counter bit-identical (the side table
+        # is consulted on misses without touching hit/miss accounting).
+        make = lambda: MayaCache(MayaConfig(memo_capacity=64, **MAYA))  # noqa: E731
+        a, b = run_pair(
+            make, homogeneous("mcf", 2), system, prewarm=True,
+            accesses_per_core=800, warmup_accesses=200, seed=11,
+        )
+        assert_bit_identical(a, b)
+        info = b[0].tags.randomizer.cache_info()
+        assert info.precomputed > 0  # the prewarm actually fired
+
+    def test_prewarm_off_by_default(self, system):
+        llc = MayaCache(MayaConfig(**MAYA))
+        run_mix(llc, homogeneous("mcf", 2), system,
+                accesses_per_core=300, warmup_accesses=0, seed=2,
+                trace_cache=False)
+        assert llc.tags.randomizer.cache_info().precomputed == 0

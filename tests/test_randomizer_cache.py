@@ -138,3 +138,50 @@ class TestMayaIntegration:
         cache.rekey()
         assert cache.tags.randomizer.cache_info().size == 0
         assert cache.tags.randomizer.cache_info().invalidations == 1
+
+
+class TestBulkMap:
+    """bulk_map pre-warming must be invisible to the memo's accounting."""
+
+    def test_precomputes_correct_mappings(self):
+        r = IndexRandomizer(2, 256, seed=11, algorithm="splitmix")
+        addrs = list(range(300))
+        assert r.bulk_map(addrs, sdid=3) == len(addrs)
+        info = r.cache_info()
+        assert info.precomputed == len(addrs)
+        assert (info.hits, info.misses, info.size) == (0, 0, 0)
+        for addr in addrs:
+            assert r.all_indices(addr, sdid=3) == r.compute_indices(addr, sdid=3)
+
+    def test_counters_identical_with_and_without_prewarm(self):
+        addrs = [a % 97 for a in range(0, 4000, 7)]  # revisits + evictions
+        plain = IndexRandomizer(2, 128, seed=5, algorithm="splitmix", memo_capacity=50)
+        warmed = IndexRandomizer(2, 128, seed=5, algorithm="splitmix", memo_capacity=50)
+        warmed.bulk_map(set(addrs))
+        results = []
+        for r in (plain, warmed):
+            results.append([r.all_indices(a) for a in addrs])
+        assert results[0] == results[1]
+        a, b = plain.cache_info(), warmed.cache_info()
+        assert (a.hits, a.misses, a.size) == (b.hits, b.misses, b.size)
+
+    def test_skips_already_known_pairs(self):
+        r = IndexRandomizer(2, 64, seed=2, algorithm="splitmix")
+        r.all_indices(10)  # lands in the memo
+        assert r.bulk_map([10, 11]) == 1  # only 11 is new
+        assert r.bulk_map([11]) == 0  # already in the side table
+
+    def test_rekey_drops_precomputed(self):
+        r = IndexRandomizer(2, 64, seed=2, algorithm="splitmix")
+        r.bulk_map(range(50))
+        r.rekey()
+        assert r.cache_info().precomputed == 0
+        # After the rekey every lookup must reflect the *new* keys.
+        for addr in range(50):
+            assert r.all_indices(addr) == r.compute_indices(addr)
+
+    def test_llc_delegation(self):
+        cache = MayaCache(experiment_maya(llc_sets=64, seed=9))
+        assert cache.mapping_cache_capacity == cache.tags.randomizer.memo_capacity
+        assert cache.bulk_map(range(40), sdid=1) == 40
+        assert cache.tags.randomizer.cache_info().precomputed == 40

@@ -1,0 +1,202 @@
+"""The two-layer compiled-trace cache: keys, disk format, fallbacks.
+
+The cache is a pure performance layer: every trace it serves must be
+element-wise identical to what the synthetic generators produce, any
+on-disk corruption must degrade to a regenerate (never a crash or a
+wrong trace), and the content key must change whenever any input that
+shapes the stream changes.
+"""
+
+import itertools
+import logging
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.trace import compiled
+from repro.trace.compiled import (
+    CompiledTrace,
+    cache_path,
+    compile_workload,
+    trace_cache_dir,
+    trace_cache_info,
+    trace_key,
+)
+from repro.trace.record import MemoryAccess
+from repro.trace.workloads import get_workload
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    """A private on-disk cache + clean counters/memo for one test."""
+    directory = tmp_path / "tc"
+    monkeypatch.setenv(compiled.TRACE_CACHE_ENV, str(directory))
+    compiled.clear_memory_cache()
+    compiled.reset_trace_cache_stats()
+    yield directory
+    compiled.clear_memory_cache()
+    compiled.reset_trace_cache_stats()
+
+
+def generated_records(workload, llc_lines, length, seed):
+    spec = get_workload(workload)
+    return list(itertools.islice(spec.stream(llc_lines, seed=seed), length))
+
+
+class TestMemoryAccessHash:
+    def test_hash_agrees_with_eq(self):
+        # Regression: MemoryAccess defined __eq__ without __hash__,
+        # which made records unhashable (dataclass sets __hash__ to
+        # None) and broke set-based dedup in the trace compiler.
+        a, b = MemoryAccess(5, True, 3), MemoryAccess(5, True, 3)
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+        assert len({a, MemoryAccess(5, False, 3), MemoryAccess(6, True, 3)}) == 3
+
+    def test_usable_as_dict_key(self):
+        counts = {}
+        for access in [MemoryAccess(1), MemoryAccess(2), MemoryAccess(1)]:
+            counts[access] = counts.get(access, 0) + 1
+        assert counts[MemoryAccess(1)] == 2
+
+
+class TestCompiledTrace:
+    def test_matches_generator_element_wise(self, cache_dir):
+        for workload in ("mcf", "lbm", "gcc"):
+            records = generated_records(workload, 512, 300, seed=9)
+            trace = compile_workload(workload, 512, 300, seed=9)
+            assert [
+                (a, w != 0, g)
+                for a, w, g in zip(trace.line_addrs, trace.write_flags, trace.gaps)
+            ] == [(r.line_addr, r.is_write, r.gap) for r in records]
+            assert list(trace.records()) == records
+
+    def test_unique_helpers(self):
+        trace = CompiledTrace.from_records(
+            [MemoryAccess(1), MemoryAccess(2, True), MemoryAccess(1)]
+        )
+        assert sorted(trace.unique_lines()) == [1, 2]
+        assert sorted(trace.unique_lines(offset=10)) == [11, 12]
+        assert trace.unique_records() == {
+            MemoryAccess(1), MemoryAccess(2, True), MemoryAccess(1)
+        }
+
+    def test_from_records_rejects_short_stream(self):
+        with pytest.raises(TraceError, match="ended after 2 of 5"):
+            CompiledTrace.from_records([MemoryAccess(1), MemoryAccess(2)], count=5)
+
+    def test_roundtrip_and_key_check(self):
+        trace = CompiledTrace.from_records(generated_records("mcf", 256, 64, seed=1))
+        blob = trace.to_bytes("some-key")
+        assert CompiledTrace.from_bytes(blob, "some-key") == trace
+        with pytest.raises(TraceError, match="key mismatch"):
+            CompiledTrace.from_bytes(blob, "other-key")
+
+
+class TestCacheLayers:
+    def test_memory_then_disk_hits(self, cache_dir):
+        kwargs = dict(workload="mcf", llc_lines=512, length=200, seed=4)
+        first = compile_workload(**kwargs)
+        assert trace_cache_info().compiles == 1
+        assert cache_path(cache_dir, trace_key("mcf", 512, 4, 200)).exists()
+
+        assert compile_workload(**kwargs) == first
+        assert trace_cache_info().memory_hits == 1
+
+        compiled.clear_memory_cache()  # simulate a fresh process
+        assert compile_workload(**kwargs) == first
+        info = trace_cache_info()
+        assert (info.disk_hits, info.compiles) == (1, 1)
+        assert info.hit_rate == pytest.approx(2 / 3)
+
+    def test_corrupt_file_regenerates_with_warning(self, cache_dir, caplog):
+        kwargs = dict(workload="mcf", llc_lines=512, length=150, seed=2)
+        first = compile_workload(**kwargs)
+        path = cache_path(cache_dir, trace_key("mcf", 512, 2, 150))
+        path.write_bytes(b"garbage not a trace at all")
+        compiled.clear_memory_cache()
+        with caplog.at_level(logging.WARNING, logger="repro.trace.compiled"):
+            again = compile_workload(**kwargs)
+        assert again == first
+        assert trace_cache_info().disk_errors == 1
+        assert any("corrupt" in r.message for r in caplog.records)
+        # The bad file was deleted and replaced by the regenerated one.
+        assert CompiledTrace.from_bytes(
+            path.read_bytes(), trace_key("mcf", 512, 2, 150)
+        ) == first
+
+    def test_truncated_file_regenerates(self, cache_dir, caplog):
+        kwargs = dict(workload="lbm", llc_lines=256, length=120, seed=3)
+        first = compile_workload(**kwargs)
+        path = cache_path(cache_dir, trace_key("lbm", 256, 3, 120))
+        path.write_bytes(path.read_bytes()[:-25])  # chop columns + CRC
+        compiled.clear_memory_cache()
+        with caplog.at_level(logging.WARNING, logger="repro.trace.compiled"):
+            assert compile_workload(**kwargs) == first
+        assert trace_cache_info().disk_errors == 1
+
+    def test_use_cache_false_bypasses_both_layers(self, cache_dir):
+        kwargs = dict(workload="mcf", llc_lines=512, length=100, seed=5)
+        a = compile_workload(use_cache=False, **kwargs)
+        b = compile_workload(use_cache=False, **kwargs)
+        assert a == b
+        assert trace_cache_info().compiles == 2
+        assert not cache_dir.exists()  # nothing was ever written
+
+    def test_env_disable_skips_disk(self, tmp_path, monkeypatch):
+        for token in ("0", "off", "NONE"):
+            monkeypatch.setenv(compiled.TRACE_CACHE_ENV, token)
+            assert trace_cache_dir() is None
+        compiled.clear_memory_cache()
+        compiled.reset_trace_cache_stats()
+        compile_workload("mcf", 512, 80, seed=6)
+        compile_workload("mcf", 512, 80, seed=6)
+        assert trace_cache_info().compiles == 2  # no layer was consulted
+
+    def test_env_path_relocates_disk(self, tmp_path, monkeypatch):
+        target = tmp_path / "elsewhere"
+        monkeypatch.setenv(compiled.TRACE_CACHE_ENV, str(target))
+        assert trace_cache_dir() == target
+        compiled.clear_memory_cache()
+        compile_workload("mcf", 512, 90, seed=8)
+        assert len(list(target.glob("*.ctrace"))) == 1
+
+
+class TestKeySensitivity:
+    def test_every_input_changes_the_key(self):
+        base = trace_key("mcf", 512, 7, 1000)
+        variants = [
+            trace_key("lbm", 512, 7, 1000),
+            trace_key("mcf", 1024, 7, 1000),
+            trace_key("mcf", 512, 8, 1000),
+            trace_key("mcf", 512, None, 1000),
+            trace_key("mcf", 512, 7, 1001),
+        ]
+        assert len({base, *variants}) == len(variants) + 1
+
+    def test_generator_version_invalidates(self, cache_dir, monkeypatch):
+        old_key = trace_key("mcf", 512, 7, 100)
+        monkeypatch.setattr(compiled, "GENERATOR_VERSION", 2)
+        new_key = trace_key("mcf", 512, 7, 100)
+        assert new_key != old_key
+        # A trace cached under the old version is not served for the new.
+        compile_workload("mcf", 512, 100, seed=7)
+        assert cache_path(cache_dir, new_key).exists()
+        assert not cache_path(cache_dir, old_key).exists()
+
+    def test_distinct_keys_get_distinct_files(self, cache_dir):
+        compile_workload("mcf", 512, 100, seed=1)
+        compile_workload("mcf", 512, 100, seed=2)
+        assert len(list(cache_dir.glob("*.ctrace"))) == 2
+
+
+class TestCliFlag:
+    def test_no_trace_cache_exports_env(self, monkeypatch, capsys):
+        from repro.harness import cli
+
+        monkeypatch.setenv(compiled.TRACE_CACHE_ENV, "somewhere")
+        assert cli.main(["list", "--no-trace-cache"]) == 0
+        import os
+
+        assert os.environ[compiled.TRACE_CACHE_ENV] == "0"
+        assert trace_cache_dir() is None

@@ -11,11 +11,12 @@ Usage::
 
     python tools/bench.py                       # full protocol, print table
     python tools/bench.py --quick               # CI-sized protocol
-    python tools/bench.py --both --out BENCH_2.json   # regenerate the
+    python tools/bench.py --both --out BENCH_4.json   # regenerate the
                                                       # checked-in baseline
     python tools/bench.py --quick --verify      # + reference-engine
                                                 # equivalence check
-    python tools/bench.py --quick --baseline BENCH_2.json --check-regression 25
+    python tools/bench.py --quick --baseline BENCH_4.json --check-regression 25
+    python tools/bench.py --no-trace-cache      # recompile traces every trial
 
 ``--check-regression PCT`` exits 1 if measured Maya throughput falls
 more than PCT percent below the checked-in baseline's figure for the
@@ -33,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import statistics
 import sys
 import time
@@ -42,11 +44,12 @@ from repro.harness.presets import experiment_maya, experiment_mirage, experiment
 from repro.hierarchy.simulator import run_mix
 from repro.llc.baseline import BaselineLLC
 from repro.llc.mirage import MirageCache
+from repro.trace.compiled import TRACE_CACHE_ENV, trace_cache_info
 from repro.trace.mixes import homogeneous
 
 #: Canonical protocol (matched by the checked-in BENCH_*.json files).
 FULL = {"llc_sets": 512, "cores": 8, "accesses_per_core": 12000,
-        "warmup_per_core": 6000, "seed": 7, "bench": "mcf", "trials": 5}
+        "warmup_per_core": 6000, "seed": 7, "bench": "mcf", "trials": 6}
 #: CI-sized protocol: same shape, ~4x fewer accesses, fewer trials.
 QUICK = {"llc_sets": 512, "cores": 8, "accesses_per_core": 3000,
          "warmup_per_core": 1500, "seed": 7, "bench": "mcf", "trials": 2}
@@ -73,9 +76,10 @@ def bench_design(design: str, params: dict, make_llc=_make_llc) -> dict:
     mix = homogeneous(params["bench"], params["cores"])
     system = experiment_system(cores=params["cores"], llc_sets=params["llc_sets"])
     total_accesses = (params["accesses_per_core"] + params["warmup_per_core"]) * params["cores"]
-    seconds, mpki = [], None
+    seconds, mpki, hit_rate, trace_trials = [], None, 0.0, []
     for _ in range(params["trials"]):
         llc = make_llc(design, params)
+        before = trace_cache_info()
         t0 = time.perf_counter()
         result = run_mix(
             llc, mix, system,
@@ -84,6 +88,18 @@ def bench_design(design: str, params: dict, make_llc=_make_llc) -> dict:
             seed=params["seed"],
         )
         seconds.append(time.perf_counter() - t0)
+        after = trace_cache_info()
+        # Per-trial trace-cache activity: the first trial compiles (or
+        # loads from disk), later trials should be pure memory hits.
+        trace_trials.append({
+            "memory_hits": after.memory_hits - before.memory_hits,
+            "disk_hits": after.disk_hits - before.disk_hits,
+            "compiles": after.compiles - before.compiles,
+            "generation_seconds": round(
+                (after.compile_seconds - before.compile_seconds)
+                + (after.load_seconds - before.load_seconds), 4),
+        })
+        hit_rate = result.llc_randomizer_hit_rate
         if mpki is None:
             mpki = result.llc_mpki
         elif result.llc_mpki != mpki:
@@ -95,7 +111,9 @@ def bench_design(design: str, params: dict, make_llc=_make_llc) -> dict:
         "accesses_per_sec_best": round(total_accesses / min(seconds), 1),
         "accesses_per_sec_median": round(total_accesses / statistics.median(seconds), 1),
         "llc_mpki": mpki,
+        "randomizer_hit_rate": hit_rate,
         "trial_seconds": [round(s, 3) for s in seconds],
+        "trace_cache_trials": trace_trials,
     }
 
 
@@ -184,14 +202,20 @@ def main(argv=None) -> int:
                         help="checked-in BENCH_*.json to compare against")
     parser.add_argument("--check-regression", type=float, metavar="PCT", default=None,
                         help="fail if Maya throughput drops >PCT%% vs --baseline")
+    parser.add_argument("--no-trace-cache", action="store_true",
+                        help="disable the on-disk compiled-trace cache "
+                             f"(sets {TRACE_CACHE_ENV}=0; every trial recompiles)")
     args = parser.parse_args(argv)
+
+    if args.no_trace_cache:
+        os.environ[TRACE_CACHE_ENV] = "0"
 
     protocol = "quick" if args.quick else "full"
     params = dict(QUICK if args.quick else FULL)
     if args.trials:
         params["trials"] = args.trials
 
-    payload = {"bench_id": 2, "pre_soa_anchor": PRE_SOA_ANCHOR, "protocols": {}}
+    payload = {"bench_id": 4, "pre_soa_anchor": PRE_SOA_ANCHOR, "protocols": {}}
     print(f"[{protocol}] {params}")
     results = run_protocol(params)
     payload["protocols"][protocol] = {"params": params, "results": results}

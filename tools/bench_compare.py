@@ -1,0 +1,133 @@
+"""Compare the checked-in BENCH_*.json files across PRs.
+
+Reads every ``BENCH_<n>.json`` in the repository root (or a directory
+given with ``--dir``), orders them by ``<n>``, and prints a per-design
+throughput/MPKI trend table for each protocol the files share.  The
+throughput column is ``accesses_per_sec_best`` - the benchmark's
+fresh-caches-per-trial design makes the best-of-N figure the stable
+one (see tools/bench.py).
+
+Exits 1 when any design's best throughput drops more than
+``--threshold`` percent (default 25) between two *consecutive* bench
+files for the same protocol.  Throughput gets that headroom because
+the files may have been produced on different machines; algorithmic
+regressions show up far larger than runner variance.  MPKI changes are
+*reported* (flagged ``*`` in the table) but never fail the check on
+their own: the fingerprint legitimately moves when a PR changes the
+modelled microarchitecture, and tools/bench.py's ``--check-regression``
+already enforces exact fingerprints against the current baseline.
+
+Usage::
+
+    python tools/bench_compare.py                    # scan repo root
+    python tools/bench_compare.py --threshold 10
+    python tools/bench_compare.py --dir results/
+
+Developer tool, not part of the library API; stdlib-only on purpose so
+CI can run it before installing anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def find_bench_files(directory: str) -> list:
+    """``[(id, path), ...]`` of BENCH_<n>.json files, sorted by id."""
+    found = []
+    for name in os.listdir(directory):
+        m = _BENCH_RE.match(name)
+        if m:
+            found.append((int(m.group(1)), os.path.join(directory, name)))
+    return sorted(found)
+
+
+def load_bench(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _designs(benches: list) -> list:
+    """All design names appearing anywhere, in first-seen order."""
+    seen: list = []
+    for _, payload in benches:
+        for proto in payload.get("protocols", {}).values():
+            for design in proto.get("results", {}):
+                if design not in seen:
+                    seen.append(design)
+    return seen
+
+
+def _protocols(benches: list) -> list:
+    order = {"full": 0, "quick": 1}
+    names = {name for _, p in benches for name in p.get("protocols", {})}
+    return sorted(names, key=lambda n: (order.get(n, 99), n))
+
+
+def trend_table(benches: list, threshold: float) -> tuple:
+    """Render the trend table; returns ``(lines, regressions)``.
+
+    ``regressions`` lists human-readable strings, one per consecutive
+    throughput drop beyond ``threshold`` percent.
+    """
+    lines, regressions = [], []
+    ids = [bench_id for bench_id, _ in benches]
+    for protocol in _protocols(benches):
+        lines.append(f"[{protocol}]")
+        header = f"  {'design':<10}" + "".join(f"{f'BENCH_{i}':>16}" for i in ids)
+        lines.append(header)
+        for design in _designs(benches):
+            cells, prev = [], None
+            for _, payload in benches:
+                r = payload.get("protocols", {}).get(protocol, {}).get("results", {}).get(design)
+                if r is None:
+                    cells.append(f"{'-':>16}")
+                    continue
+                acc = r["accesses_per_sec_best"]
+                mark = " "
+                if prev is not None:
+                    if acc < prev["acc"] * (1 - threshold / 100.0):
+                        mark = "!"
+                        regressions.append(
+                            f"{design}/{protocol}: {acc:.1f} acc/s is more than "
+                            f"{threshold:.0f}% below the previous file's {prev['acc']:.1f}"
+                        )
+                    if r["llc_mpki"] != prev["mpki"]:
+                        mark = "*" if mark == " " else mark
+                cells.append(f"{acc:>14.1f}{mark} ")
+                prev = {"acc": acc, "mpki": r["llc_mpki"]}
+            lines.append(f"  {design:<10}" + "".join(cells))
+        lines.append("")
+    lines.append("  (acc/s best; '!' = throughput regression, '*' = MPKI fingerprint changed)")
+    return lines, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dir", default=".", help="directory holding BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="max tolerated %% drop between consecutive files")
+    args = parser.parse_args(argv)
+
+    benches = [(i, load_bench(path)) for i, path in find_bench_files(args.dir)]
+    if len(benches) < 1:
+        print(f"no BENCH_*.json files under {args.dir!r}", file=sys.stderr)
+        return 2
+
+    lines, regressions = trend_table(benches, args.threshold)
+    print("\n".join(lines))
+    if regressions:
+        for regression in regressions:
+            print(f"REGRESSION: {regression}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
