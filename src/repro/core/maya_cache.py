@@ -295,6 +295,15 @@ class MayaCache:
         return self.tags.randomizer.bulk_map(line_addrs, sdid)
 
     @property
+    def index_randomizer(self):
+        """The :class:`~repro.crypto.randomizer.IndexRandomizer` in use.
+
+        Uniform accessor across randomized designs; the drive loop uses
+        it to decide on (and feed) ahead-of-time index translation.
+        """
+        return self.tags.randomizer
+
+    @property
     def mapping_cache_capacity(self) -> int:
         """LRU mapping-cache capacity (drives the pre-warm heuristic)."""
         return self.tags.randomizer.memo_capacity
@@ -375,7 +384,11 @@ class MayaCache:
             indices = memo.pop(mkey, None)
             if indices is None:
                 rand.cache_misses += 1
-                if self._fast_mix:
+                # Same miss discipline as IndexRandomizer._lookup: a
+                # bulk_map / load_packed pretranslation satisfies the
+                # miss before any cipher work.
+                indices = rand._precomputed.get(mkey)
+                if indices is None and self._fast_mix:
                     # IndexRandomizer._raw_indices (splitmix, two
                     # skews) inlined - the cipher pass per install
                     # miss.  Identical mixing; the precomputed-shift
@@ -399,7 +412,7 @@ class MayaCache:
                     for s in shifts:
                         f1 ^= x >> s
                     indices = (f0 & m, f1 & m)
-                else:
+                elif indices is None:
                     indices = rand._raw_indices(line_addr, sdid)
                 if len(memo) >= rand._memo_capacity:
                     del memo[next(iter(memo))]

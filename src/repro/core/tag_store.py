@@ -316,7 +316,11 @@ class SkewedTagStore:
         indices = memo.pop(key, None)
         if indices is None:
             rand.cache_misses += 1
-            indices = rand._raw_indices(line_addr, sdid)
+            # Consult the bulk_map/load_packed side table before the
+            # cipher, mirroring IndexRandomizer._lookup's miss path.
+            indices = rand._precomputed.get(key)
+            if indices is None:
+                indices = rand._raw_indices(line_addr, sdid)
             if len(memo) >= rand._memo_capacity:
                 del memo[next(iter(memo))]
         else:

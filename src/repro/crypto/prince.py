@@ -17,11 +17,25 @@ This is a complete, test-vector-validated implementation:
 State convention: the 64-bit state is an integer whose most significant
 nibble is nibble 0, matching the hex strings in the PRINCE paper, so
 the published test vectors can be compared directly.
+
+The round functions are evaluated through **fused position tables**
+(the classic T-table construction): for each of the 8 byte positions a
+256-entry table maps the input byte to its 64-bit XOR contribution to
+the whole round output, folding S-box, M' diffusion, and ShiftRows into
+one lookup.  A full round is then 8 lookups + 8 XORs instead of the
+~48 per-nibble loop iterations of the layer-by-layer interpreter, which
+makes ``algorithm="prince"`` simulations viable instead of a documented
+10x-slower fallback.  The tables are *key independent* (built once at
+import); all key material stays in the per-instance round-key schedule.
+The original per-nibble interpreter is retained verbatim in
+:mod:`repro.reference.prince` as the differential oracle, and the layer
+primitives below are what both the table builder and the oracle share.
 """
 
 from __future__ import annotations
 
-from typing import List
+from array import array
+from typing import Iterable, List
 
 from ..common.bitops import mask
 
@@ -155,34 +169,172 @@ def _m_layer_inv(state: int) -> int:
     return _m_prime_layer(_shift_rows(state, _SR_INV))
 
 
-def _core(state: int, k1: int) -> int:
-    """The 12-round PRINCE_core keyed by ``k1``."""
-    return _core_scheduled(state, tuple(rc ^ k1 for rc in ROUND_CONSTANTS))
+# -- fused position tables -------------------------------------------------
+#
+# One table set per round direction.  ``T[pos][b]`` is the 64-bit XOR
+# contribution of input byte ``b`` at byte position ``pos`` (bits
+# ``8*pos .. 8*pos+7``) to the whole round output.  The decomposition is
+# exact: the S layer acts nibble-wise, so ``S(x)`` is the XOR of its
+# per-byte images (each confined to its own byte lanes), and the M' / SR
+# layers are linear over XOR — ``Linear(S(x)) = XOR_pos
+# T[pos][byte_pos(x)]``.  All tables are key independent.
+
+_SBOX_BYTE = tuple((SBOX[b >> 4] << 4) | SBOX[b & 0xF] for b in range(256))
+_SBOX_INV_BYTE = tuple((SBOX_INV[b >> 4] << 4) | SBOX_INV[b & 0xF] for b in range(256))
 
 
-def _core_scheduled(state: int, round_keys) -> int:
-    """PRINCE_core over a precomputed key schedule.
+def _build_position_tables(sbox_byte, linear) -> tuple:
+    """``T[pos][b] = linear(sbox_byte[b] << 8*pos)`` for all 8 positions."""
+    return tuple(
+        [linear(sbox_byte[b] << (8 * pos)) for b in range(256)] for pos in range(8)
+    )
 
-    ``round_keys[i]`` is ``ROUND_CONSTANTS[i] ^ k1``, optionally with
-    the FX whitening key folded into the first/last entries — the
-    per-round ``RC ^ k1`` XORs are the only key material the rounds
-    touch, so hoisting them out of the loop halves the per-block XOR
-    count on the simulator's hottest path.
+
+#: Forward round: SR(M'(S(x))).
+_T_FWD = _build_position_tables(_SBOX_BYTE, lambda x: _shift_rows(_m_prime_layer(x)))
+#: First middle pass: M'(S(x)) (the S o M' half of the involution).
+_T_MID = _build_position_tables(_SBOX_BYTE, _m_prime_layer)
+#: Inverse round in deferred-S form: M'(SR^-1(S^-1(z))).
+_T_INV = _build_position_tables(
+    _SBOX_INV_BYTE, lambda x: _m_prime_layer(_shift_rows(x, _SR_INV))
+)
+#: Final layer: the plain byte-wise inverse S-box.
+_T_SINV = _build_position_tables(_SBOX_INV_BYTE, lambda x: x)
+
+
+def _fuse_schedule(round_keys) -> tuple:
+    """Transform a ``RC ^ k1`` schedule for the fused kernel.
+
+    The kernel evaluates the back-half rounds in *deferred-S* form: it
+    tracks ``z_i``, the state before each round's trailing ``S^-1``, so
+    the recurrence ``x_i = S^-1(L(x_{i-1} ^ rk_i))`` (with ``L = M' o
+    SR^-1``) becomes ``z_i = L(S^-1(z_{i-1})) ^ L(rk_i)`` — one fused
+    table pass plus a key XOR.  That moves the round keys 6..10 through
+    the linear layer, so the schedule stores ``L(rk_i)`` for them.
     """
-    state ^= round_keys[0]
-    for i in range(1, 6):
-        state = _s_layer(state)
-        state = _m_layer(state)
-        state ^= round_keys[i]
-    state = _s_layer(state)
-    state = _m_prime_layer(state)
-    state = _s_layer(state, SBOX_INV)
+    fused = list(round_keys)
     for i in range(6, 11):
-        state ^= round_keys[i]
-        state = _m_layer_inv(state)
-        state = _s_layer(state, SBOX_INV)
-    state ^= round_keys[11]
-    return state
+        fused[i] = _m_prime_layer(_shift_rows(fused[i], _SR_INV))
+    return tuple(fused)
+
+
+def _fused_block(x: int, ks, F=_T_FWD, M=_T_MID, I=_T_INV, S=_T_SINV) -> int:
+    """One 64-bit block through the 12 fused rounds (schedule ``ks``).
+
+    8 table lookups + 8 XORs per round in place of the interpreter's
+    ~48 per-nibble loop iterations; 12 table passes per block total.
+    """
+    F0, F1, F2, F3, F4, F5, F6, F7 = F
+    x ^= ks[0]
+    for i in range(1, 6):
+        x = (
+            F0[x & 255] ^ F1[(x >> 8) & 255] ^ F2[(x >> 16) & 255]
+            ^ F3[(x >> 24) & 255] ^ F4[(x >> 32) & 255] ^ F5[(x >> 40) & 255]
+            ^ F6[(x >> 48) & 255] ^ F7[x >> 56] ^ ks[i]
+        )
+    M0, M1, M2, M3, M4, M5, M6, M7 = M
+    x = (
+        M0[x & 255] ^ M1[(x >> 8) & 255] ^ M2[(x >> 16) & 255]
+        ^ M3[(x >> 24) & 255] ^ M4[(x >> 32) & 255] ^ M5[(x >> 40) & 255]
+        ^ M6[(x >> 48) & 255] ^ M7[x >> 56]
+    )
+    I0, I1, I2, I3, I4, I5, I6, I7 = I
+    for i in range(6, 11):
+        x = (
+            I0[x & 255] ^ I1[(x >> 8) & 255] ^ I2[(x >> 16) & 255]
+            ^ I3[(x >> 24) & 255] ^ I4[(x >> 32) & 255] ^ I5[(x >> 40) & 255]
+            ^ I6[(x >> 48) & 255] ^ I7[x >> 56] ^ ks[i]
+        )
+    S0, S1, S2, S3, S4, S5, S6, S7 = S
+    return (
+        S0[x & 255] ^ S1[(x >> 8) & 255] ^ S2[(x >> 16) & 255]
+        ^ S3[(x >> 24) & 255] ^ S4[(x >> 32) & 255] ^ S5[(x >> 40) & 255]
+        ^ S6[(x >> 48) & 255] ^ S7[x >> 56] ^ ks[11]
+    )
+
+
+def _fused_many(blocks, ks) -> "array":
+    """Batch :func:`_fused_block`: ``array('Q')`` in, ``array('Q')`` out.
+
+    The hot loop is written out with every table row and round key in a
+    local, which measures ~25% faster than calling ``_fused_block`` per
+    element — this is the kernel under ``bulk_map`` / trace
+    pre-translation, where a trial encrypts 10^5 blocks.
+    """
+    F0, F1, F2, F3, F4, F5, F6, F7 = _T_FWD
+    M0, M1, M2, M3, M4, M5, M6, M7 = _T_MID
+    I0, I1, I2, I3, I4, I5, I6, I7 = _T_INV
+    S0, S1, S2, S3, S4, S5, S6, S7 = _T_SINV
+    k0, k1, k2, k3, k4, k5, k6, k7, k8, k9, k10, k11 = ks
+    out = array("Q", bytes(8 * len(blocks)))
+    for pos, x in enumerate(blocks):
+        x ^= k0
+        x = (
+            F0[x & 255] ^ F1[(x >> 8) & 255] ^ F2[(x >> 16) & 255]
+            ^ F3[(x >> 24) & 255] ^ F4[(x >> 32) & 255] ^ F5[(x >> 40) & 255]
+            ^ F6[(x >> 48) & 255] ^ F7[x >> 56] ^ k1
+        )
+        x = (
+            F0[x & 255] ^ F1[(x >> 8) & 255] ^ F2[(x >> 16) & 255]
+            ^ F3[(x >> 24) & 255] ^ F4[(x >> 32) & 255] ^ F5[(x >> 40) & 255]
+            ^ F6[(x >> 48) & 255] ^ F7[x >> 56] ^ k2
+        )
+        x = (
+            F0[x & 255] ^ F1[(x >> 8) & 255] ^ F2[(x >> 16) & 255]
+            ^ F3[(x >> 24) & 255] ^ F4[(x >> 32) & 255] ^ F5[(x >> 40) & 255]
+            ^ F6[(x >> 48) & 255] ^ F7[x >> 56] ^ k3
+        )
+        x = (
+            F0[x & 255] ^ F1[(x >> 8) & 255] ^ F2[(x >> 16) & 255]
+            ^ F3[(x >> 24) & 255] ^ F4[(x >> 32) & 255] ^ F5[(x >> 40) & 255]
+            ^ F6[(x >> 48) & 255] ^ F7[x >> 56] ^ k4
+        )
+        x = (
+            F0[x & 255] ^ F1[(x >> 8) & 255] ^ F2[(x >> 16) & 255]
+            ^ F3[(x >> 24) & 255] ^ F4[(x >> 32) & 255] ^ F5[(x >> 40) & 255]
+            ^ F6[(x >> 48) & 255] ^ F7[x >> 56] ^ k5
+        )
+        x = (
+            M0[x & 255] ^ M1[(x >> 8) & 255] ^ M2[(x >> 16) & 255]
+            ^ M3[(x >> 24) & 255] ^ M4[(x >> 32) & 255] ^ M5[(x >> 40) & 255]
+            ^ M6[(x >> 48) & 255] ^ M7[x >> 56]
+        )
+        x = (
+            I0[x & 255] ^ I1[(x >> 8) & 255] ^ I2[(x >> 16) & 255]
+            ^ I3[(x >> 24) & 255] ^ I4[(x >> 32) & 255] ^ I5[(x >> 40) & 255]
+            ^ I6[(x >> 48) & 255] ^ I7[x >> 56] ^ k6
+        )
+        x = (
+            I0[x & 255] ^ I1[(x >> 8) & 255] ^ I2[(x >> 16) & 255]
+            ^ I3[(x >> 24) & 255] ^ I4[(x >> 32) & 255] ^ I5[(x >> 40) & 255]
+            ^ I6[(x >> 48) & 255] ^ I7[x >> 56] ^ k7
+        )
+        x = (
+            I0[x & 255] ^ I1[(x >> 8) & 255] ^ I2[(x >> 16) & 255]
+            ^ I3[(x >> 24) & 255] ^ I4[(x >> 32) & 255] ^ I5[(x >> 40) & 255]
+            ^ I6[(x >> 48) & 255] ^ I7[x >> 56] ^ k8
+        )
+        x = (
+            I0[x & 255] ^ I1[(x >> 8) & 255] ^ I2[(x >> 16) & 255]
+            ^ I3[(x >> 24) & 255] ^ I4[(x >> 32) & 255] ^ I5[(x >> 40) & 255]
+            ^ I6[(x >> 48) & 255] ^ I7[x >> 56] ^ k9
+        )
+        x = (
+            I0[x & 255] ^ I1[(x >> 8) & 255] ^ I2[(x >> 16) & 255]
+            ^ I3[(x >> 24) & 255] ^ I4[(x >> 32) & 255] ^ I5[(x >> 40) & 255]
+            ^ I6[(x >> 48) & 255] ^ I7[x >> 56] ^ k10
+        )
+        out[pos] = (
+            S0[x & 255] ^ S1[(x >> 8) & 255] ^ S2[(x >> 16) & 255]
+            ^ S3[(x >> 24) & 255] ^ S4[(x >> 32) & 255] ^ S5[(x >> 40) & 255]
+            ^ S6[(x >> 48) & 255] ^ S7[x >> 56] ^ k11
+        )
+    return out
+
+
+def _core(state: int, k1: int) -> int:
+    """The 12-round PRINCE_core keyed by ``k1`` (fused kernel)."""
+    return _fused_block(state, _fuse_schedule(tuple(rc ^ k1 for rc in ROUND_CONSTANTS)))
 
 
 def _whitening_key(k0: int) -> int:
@@ -216,6 +368,8 @@ class Prince:
         dec[0] ^= self._k0_prime
         dec[11] ^= self._k0
         self._dec_schedule = tuple(dec)
+        self._enc_fused = _fuse_schedule(self._enc_schedule)
+        self._dec_fused = _fuse_schedule(self._dec_schedule)
 
     @property
     def key(self) -> int:
@@ -224,11 +378,24 @@ class Prince:
 
     def encrypt(self, plaintext: int) -> int:
         """Encrypt one 64-bit block."""
-        return _core_scheduled(plaintext & _MASK64, self._enc_schedule)
+        return _fused_block(plaintext & _MASK64, self._enc_fused)
 
     def decrypt(self, ciphertext: int) -> int:
         """Decrypt one 64-bit block (alpha-reflection property)."""
-        return _core_scheduled(ciphertext & _MASK64, self._dec_schedule)
+        return _fused_block(ciphertext & _MASK64, self._dec_fused)
+
+    def encrypt_many(self, blocks: Iterable[int]) -> array:
+        """Encrypt a batch of 64-bit blocks; returns ``array('Q')``.
+
+        Accepts any iterable with ``len()`` whose elements are already
+        64-bit (``array('Q')`` is the intended input — no masking is
+        applied on the hot path).
+        """
+        return _fused_many(blocks, self._enc_fused)
+
+    def decrypt_many(self, blocks: Iterable[int]) -> array:
+        """Decrypt a batch of 64-bit blocks; returns ``array('Q')``."""
+        return _fused_many(blocks, self._dec_fused)
 
 
 def encrypt(plaintext: int, key: int) -> int:

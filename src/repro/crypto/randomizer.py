@@ -27,7 +27,11 @@ can report its effectiveness (see ``CacheStats.randomizer_hits``).
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Optional, Tuple
+import hashlib
+import multiprocessing
+import os
+from array import array
+from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 from ..common.bitops import fold_xor, log2_exact
 from ..common.errors import ConfigurationError
@@ -36,6 +40,82 @@ from .prince import Prince
 
 #: Default capacity of the LRU mapping cache (entries).
 DEFAULT_MEMO_CAPACITY = 1 << 20
+
+#: Default capacity of the precomputed (bulk_map / load_packed) side
+#: table.  Sized to hold the per-core translated traces of a full
+#: 8-core run_mix with plenty of headroom; FIFO-evicted beyond that so
+#: huge traces cannot grow it without bound.
+DEFAULT_PRECOMPUTED_CAPACITY = 1 << 21
+
+#: Env var overriding the process count used by :meth:`IndexRandomizer.translate`.
+TRANSLATE_JOBS_ENV = "REPRO_TRANSLATE_JOBS"
+
+#: Minimum ``len(addrs) * skews`` before ``translate`` fans out to a
+#: process pool — below this the fork/pickle overhead beats the win.
+_PARALLEL_THRESHOLD = 1 << 14
+
+_M64 = (1 << 64) - 1
+
+
+def splitmix64(x: int) -> int:
+    """The splitmix64 finalizer: one 64-bit avalanche mix of ``x``.
+
+    Shared by every splitmix code path (per-skew index derivation, the
+    CEASER full-address permutation, and batch translation) — it was
+    previously pasted inline four times.  Callers XOR the per-skew key
+    in *before* mixing.
+    """
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return x ^ (x >> 31)
+
+
+def _translate_serial(
+    algorithm: str, keys: Sequence[int], index_bits: int, addrs, sdid: int
+) -> List[array]:
+    """Per-skew packed index columns for ``addrs`` (one ``array('I')`` each).
+
+    Module-level and dependent only on its arguments so the
+    multiprocessing workers can run it from pickled state; the serial
+    path uses the exact same code, which keeps parallel and serial
+    translation trivially bit-identical.
+    """
+    tweak = sdid << 56
+    tweaked = array("Q", [a ^ tweak for a in addrs]) if sdid else addrs
+    bits = index_bits
+    m = (1 << bits) - 1
+    columns = []
+    if algorithm == "prince":
+        for key in keys:
+            cipher = Prince(key)
+            col = array("I", bytes(4 * len(addrs)))
+            for i, x in enumerate(cipher.encrypt_many(tweaked)):
+                f = 0
+                while x:
+                    f ^= x & m
+                    x >>= bits
+                col[i] = f
+            columns.append(col)
+    else:
+        for key in keys:
+            col = array("I", bytes(4 * len(addrs)))
+            for i, a in enumerate(tweaked):
+                x = splitmix64(a ^ key)
+                f = 0
+                while x:
+                    f ^= x & m
+                    x >>= bits
+                col[i] = f
+            columns.append(col)
+    return columns
+
+
+def _translate_block(args) -> List[bytes]:
+    """Pool worker: translate one chunk of addresses to column bytes."""
+    algorithm, keys, index_bits, sdid, blob = args
+    addrs = array("Q")
+    addrs.frombytes(blob)
+    return [col.tobytes() for col in _translate_serial(algorithm, keys, index_bits, addrs, sdid)]
 
 
 class MappingCacheInfo(NamedTuple):
@@ -46,9 +126,13 @@ class MappingCacheInfo(NamedTuple):
     invalidations: int
     size: int
     capacity: int
-    #: Entries precomputed by :meth:`IndexRandomizer.bulk_map` (the
-    #: side table consulted on memo misses; see its docstring).
+    #: Entries precomputed by :meth:`IndexRandomizer.bulk_map` /
+    #: :meth:`IndexRandomizer.load_packed` (the side table consulted on
+    #: memo misses; see their docstrings).
     precomputed: int = 0
+    #: FIFO evictions from the precomputed side table (it is bounded by
+    #: ``precomputed_capacity``; nonzero means a trace outgrew it).
+    precomputed_evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -79,6 +163,11 @@ class IndexRandomizer:
     memo_capacity:
         Maximum entries in the LRU mapping cache; the least recently
         used mapping is evicted when the cache is full.
+    precomputed_capacity:
+        Maximum entries in the precomputed side table filled by
+        :meth:`bulk_map` / :meth:`load_packed`; the oldest entry is
+        evicted (FIFO) when it is full, so unbounded traces cannot leak
+        memory across trials.
     """
 
     def __init__(
@@ -88,6 +177,7 @@ class IndexRandomizer:
         seed: Optional[int] = None,
         algorithm: str = "prince",
         memo_capacity: int = DEFAULT_MEMO_CAPACITY,
+        precomputed_capacity: int = DEFAULT_PRECOMPUTED_CAPACITY,
     ):
         if skews < 1:
             raise ConfigurationError(f"need at least one skew, got {skews}")
@@ -95,6 +185,10 @@ class IndexRandomizer:
             raise ConfigurationError(f"unknown randomizer algorithm {algorithm!r}")
         if memo_capacity < 1:
             raise ConfigurationError(f"memo capacity must be positive, got {memo_capacity}")
+        if precomputed_capacity < 1:
+            raise ConfigurationError(
+                f"precomputed capacity must be positive, got {precomputed_capacity}"
+            )
         self._skews = skews
         self._index_bits = log2_exact(sets_per_skew)
         self._sets_per_skew = sets_per_skew
@@ -108,9 +202,12 @@ class IndexRandomizer:
         # move-to-back), so the front is always the LRU entry.
         self._memo: dict = {}
         self._memo_capacity = memo_capacity
-        # Precomputed mappings from bulk_map(); consulted on memo
-        # misses only, so hit/miss/eviction accounting is untouched.
+        # Precomputed mappings from bulk_map()/load_packed(); consulted
+        # on memo misses only, so hit/miss/eviction accounting is
+        # untouched.  Bounded: FIFO-evicted past precomputed_capacity.
         self._precomputed: dict = {}
+        self._precomputed_capacity = precomputed_capacity
+        self.precomputed_evictions = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_invalidations = 0
@@ -128,6 +225,21 @@ class IndexRandomizer:
     def memo_capacity(self) -> int:
         """Capacity of the LRU mapping cache (entries)."""
         return self._memo_capacity
+
+    @property
+    def precomputed_capacity(self) -> int:
+        """Capacity of the precomputed side table (entries)."""
+        return self._precomputed_capacity
+
+    @property
+    def algorithm(self) -> str:
+        """The index-derivation algorithm (``"prince"`` or ``"splitmix"``)."""
+        return self._algorithm
+
+    @property
+    def index_bits(self) -> int:
+        """Width of each per-skew set index in bits."""
+        return self._index_bits
 
     @property
     def epoch(self) -> int:
@@ -157,7 +269,6 @@ class IndexRandomizer:
                 fold_xor(self._ciphers[s].encrypt(tweaked), self._index_bits)
                 for s in range(self._skews)
             )
-        m64 = (1 << 64) - 1
         bits = self._index_bits
         m = (1 << bits) - 1
         if bits & (bits - 1) == 0 and len(self._mix_keys) == 2:
@@ -168,19 +279,13 @@ class IndexRandomizer:
             # below collapses to log2(64/bits) shift-XORs with an
             # identical result.
             k0, k1 = self._mix_keys
-            x = (tweaked ^ k0) & m64
-            x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & m64
-            x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & m64
-            x ^= x >> 31
+            x = splitmix64((tweaked ^ k0) & _M64)
             span = 32
             while span >= bits:
                 x ^= x >> span
                 span >>= 1
             f0 = x & m
-            x = (tweaked ^ k1) & m64
-            x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & m64
-            x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & m64
-            x ^= x >> 31
+            x = splitmix64((tweaked ^ k1) & _M64)
             span = 32
             while span >= bits:
                 x ^= x >> span
@@ -188,10 +293,7 @@ class IndexRandomizer:
             return (f0, x & m)
         out = []
         for key in self._mix_keys:
-            x = (tweaked ^ key) & m64
-            x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & m64
-            x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & m64
-            x ^= x >> 31
+            x = splitmix64((tweaked ^ key) & _M64)
             # fold_xor inlined (hot path): XOR-fold 64 bits to the index width.
             f = 0
             while x:
@@ -223,33 +325,151 @@ class IndexRandomizer:
         memo[key] = cached  # (re)insert at the MRU position
         return cached
 
-    def bulk_map(self, line_addrs, sdid: int = 0) -> int:
+    def _install_precomputed(self, key, value) -> None:
+        """Insert into the bounded side table, FIFO-evicting past capacity."""
+        pre = self._precomputed
+        if key not in pre and len(pre) >= self._precomputed_capacity:
+            del pre[next(iter(pre))]
+            self.precomputed_evictions += 1
+        pre[key] = value
+
+    def translate(self, line_addrs, sdid: int = 0, jobs: Optional[int] = None) -> List[array]:
+        """Batch-translate addresses to per-skew packed index columns.
+
+        Runs the batch cipher kernel (``Prince.encrypt_many`` under
+        ``"prince"``) over ``line_addrs`` and returns one ``array('I')``
+        of set indices per skew, ``columns[s][i] ==
+        compute_indices(line_addrs[i], sdid)[s]``.  Nothing is cached
+        here — feed the columns to :meth:`load_packed` (or persist them
+        in the translated-trace cache) to make them visible to lookups.
+
+        For large batches (``len * skews >=`` 16Ki) the work fans out
+        across a ``multiprocessing`` pool: the cipher keys are plain
+        integers, so workers rebuild the key schedule from them and
+        translate disjoint address chunks.  ``jobs`` overrides the pool
+        size (``1`` forces serial); the ``REPRO_TRANSLATE_JOBS`` env var
+        overrides the default.  Any pool failure degrades to the serial
+        path, which is bit-identical by construction.
+        """
+        addrs = line_addrs if isinstance(line_addrs, array) else array("Q", line_addrs)
+        keys = (
+            [c.key for c in self._ciphers]
+            if self._algorithm == "prince"
+            else list(self._mix_keys)
+        )
+        if jobs is None:
+            env = os.environ.get(TRANSLATE_JOBS_ENV)
+            if env is not None:
+                try:
+                    jobs = int(env)
+                except ValueError:
+                    jobs = None
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        jobs = max(1, min(jobs, len(addrs)))
+        if jobs > 1 and len(addrs) * self._skews >= _PARALLEL_THRESHOLD:
+            try:
+                chunk = (len(addrs) + jobs - 1) // jobs
+                tasks = [
+                    (self._algorithm, keys, self._index_bits, sdid, addrs[i : i + chunk].tobytes())
+                    for i in range(0, len(addrs), chunk)
+                ]
+                ctx = multiprocessing.get_context("fork")
+                with ctx.Pool(len(tasks)) as pool:
+                    parts = pool.map(_translate_block, tasks)
+                columns = []
+                for s in range(self._skews):
+                    col = array("I")
+                    for part in parts:
+                        col.frombytes(part[s])
+                    columns.append(col)
+                return columns
+            except Exception:
+                pass  # fall through to the serial path
+        return _translate_serial(self._algorithm, keys, self._index_bits, addrs, sdid)
+
+    def load_packed(self, line_addrs, columns: Sequence, sdid: int = 0) -> int:
+        """Install pre-translated index columns into the side table.
+
+        ``columns`` is what :meth:`translate` returned for these
+        ``line_addrs`` (possibly loaded back from the on-disk
+        translated-trace cache).  Entries land in the same bounded side
+        table as :meth:`bulk_map` output, consulted by the miss path
+        only, so memo accounting stays bit-identical.  Returns the
+        number of entries installed.
+        """
+        if len(columns) != self._skews:
+            raise ConfigurationError(
+                f"expected {self._skews} index columns, got {len(columns)}"
+            )
+        install = self._install_precomputed
+        added = 0
+        for i, addr in enumerate(line_addrs):
+            install((addr, sdid), tuple(col[i] for col in columns))
+            added += 1
+        return added
+
+    def bulk_map(self, line_addrs, sdid: int = 0, jobs: Optional[int] = None) -> int:
         """Pre-warm the mapping cache: encrypt every address in one pass.
 
         Intended for compiled-trace replay: the drive loop knows every
         ``(line address, SDID)`` pair the run can touch up front, so the
-        cipher work is batched into one tight loop over an ``array('Q')``
-        *before* the timed loop (the PRINCE round keys are already
-        precomputed at key-setup, so each entry is a single cipher pass
-        per skew).  Results land in a side table consulted by the miss
-        path rather than in the LRU memo itself - that keeps the memo's
+        cipher work runs through the batch kernel (:meth:`translate` —
+        fused tables, optionally a process pool) *before* the timed
+        loop.  Results land in a side table consulted by the miss path
+        rather than in the LRU memo itself - that keeps the memo's
         hit/miss/eviction accounting bit-identical to an unwarmed run
         while still skipping the per-miss cipher cost.  The side table
-        is dropped on :meth:`rekey` like every other mapping.
+        is dropped on :meth:`rekey` like every other mapping and is
+        FIFO-bounded by ``precomputed_capacity``.
 
         Returns the number of newly computed entries.
         """
         pre = self._precomputed
         memo = self._memo
-        raw = self._raw_indices
-        added = 0
+        novel = array("Q")
+        seen = set()
         for addr in line_addrs:
             key = (addr, sdid)
-            if key in pre or key in memo:
+            if key in pre or key in memo or addr in seen:
                 continue
-            pre[key] = raw(addr, sdid)
-            added += 1
-        return added
+            seen.add(addr)
+            novel.append(addr)
+        if not novel:
+            return 0
+        return self.load_packed(novel, self.translate(novel, sdid, jobs=jobs), sdid)
+
+    def clear_precomputed(self) -> int:
+        """Drop the precomputed side table; returns how many entries it held.
+
+        The LRU memo and its counters are untouched — this only releases
+        the bulk_map/load_packed memory between runs.
+        """
+        count = len(self._precomputed)
+        self._precomputed.clear()
+        return count
+
+    def key_fingerprint(self) -> str:
+        """Digest identifying the current mapping function.
+
+        Covers the algorithm, skew count, index width, and the actual
+        key material of the current epoch, so it changes on every
+        :meth:`rekey` — the translated-trace cache uses it as part of
+        its content key, which makes stale pretranslations (old keys)
+        unreachable rather than merely invalid.
+        """
+        h = hashlib.sha256()
+        h.update(
+            f"{self._algorithm}:{self._skews}:{self._index_bits}".encode()
+        )
+        keys = (
+            [c.key for c in self._ciphers]
+            if self._algorithm == "prince"
+            else self._mix_keys
+        )
+        for key in keys:
+            h.update(key.to_bytes(16, "little"))
+        return h.hexdigest()
 
     def set_index(self, line_addr: int, skew: int = 0, sdid: int = 0) -> int:
         """Set index of ``line_addr`` in ``skew`` for security domain ``sdid``."""
@@ -275,6 +495,7 @@ class IndexRandomizer:
             size=len(self._memo),
             capacity=self._memo_capacity,
             precomputed=len(self._precomputed),
+            precomputed_evictions=self.precomputed_evictions,
         )
 
     def encrypt_address(self, line_addr: int, skew: int = 0) -> int:
@@ -286,8 +507,4 @@ class IndexRandomizer:
         """
         if self._algorithm == "prince":
             return self._ciphers[skew].encrypt(line_addr)
-        m64 = (1 << 64) - 1
-        x = (line_addr ^ self._mix_keys[skew]) & m64
-        x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & m64
-        x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & m64
-        return x ^ (x >> 31)
+        return splitmix64((line_addr ^ self._mix_keys[skew]) & _M64)

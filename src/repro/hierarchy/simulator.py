@@ -33,6 +33,7 @@ from ..common.rng import derive_seed
 from ..llc.interface import LLCache
 from ..trace.compiled import compile_workload
 from ..trace.mixes import Mix
+from ..trace.translated import translate_trace
 from ..trace.workloads import get_workload
 from .system import CacheHierarchy
 
@@ -176,6 +177,8 @@ def run_mix(
     compiled: Optional[bool] = None,
     trace_cache: Optional[bool] = None,
     prewarm_mappings: bool = False,
+    pretranslate: Optional[bool] = None,
+    translate_jobs: Optional[int] = None,
 ) -> MixResult:
     """Simulate ``mix`` over ``llc``; returns per-core IPCs + LLC stats.
 
@@ -204,6 +207,23 @@ def run_mix(
     accesses that the trace's unique-line count exceeds the number of
     cipher misses the LLC actually takes - batching then does strictly
     more cipher work than it saves.
+
+    ``pretranslate`` (compiled path only) is the ahead-of-time index
+    translation pipeline: every distinct line each compiled trace can
+    touch is pushed through the randomizer's batch cipher kernel and
+    the per-skew index columns are installed in its precomputed side
+    table (and persisted in the on-disk translated-trace cache, keyed
+    by address-set content x key fingerprint x SDID, so warm trials
+    skip cipher work entirely).  ``None`` auto-enables it exactly when
+    it pays: the LLC exposes an ``index_randomizer`` running
+    ``algorithm="prince"``, whose per-miss cipher pass dominates a cold
+    trial (the splitmix mixer is cheaper than the table consult, hence
+    the prewarm caveat above).  Results and memo counters are
+    unchanged; from the first ``rekey()`` (e.g. an SAE-triggered remap)
+    the side table is dropped with the old keys and lookups fall back
+    to the live randomizer.  ``translate_jobs`` caps the translation
+    process pool (``1`` forces serial).  ``trace_cache=False`` also
+    bypasses the translated-index cache.
     """
     config = config or SystemConfig(cores=mix.cores)
     if config.cores < mix.cores:
@@ -241,6 +261,26 @@ def run_mix(
             (trace.line_addrs, trace.write_flags, trace.gaps, core_id * region)
             for core_id, trace in enumerate(traces)
         ]
+        # Ahead-of-time index translation: batch-encrypt every (line,
+        # sdid) pair the replay can touch and install the packed index
+        # columns in the randomizer's side table (cached on disk keyed
+        # by content x key fingerprint, so warm trials skip the cipher).
+        randomizer = getattr(llc, "index_randomizer", None)
+        if pretranslate is None:
+            do_pretranslate = randomizer is not None and randomizer.algorithm == "prince"
+        else:
+            do_pretranslate = bool(pretranslate) and randomizer is not None
+        if do_pretranslate:
+            for core_id, trace in enumerate(traces):
+                translated = translate_trace(
+                    randomizer,
+                    trace,
+                    sdid=core_id,
+                    offset=core_id * region,
+                    use_cache=trace_cache,
+                    jobs=translate_jobs,
+                )
+                randomizer.load_packed(translated.line_addrs, translated.columns, sdid=core_id)
         # Pre-warm randomized designs' mapping caches: every (line, sdid)
         # pair the replay can touch is encrypted in one tight pass
         # before the timed loops (the hierarchy passes sdid=core_id).

@@ -53,6 +53,11 @@ class CeaserCache(LLCache):
         self._fills_since_remap = 0
         self.remaps = 0
 
+    @property
+    def index_randomizer(self):
+        """The :class:`~repro.crypto.randomizer.IndexRandomizer` in use."""
+        return self._randomizer
+
     def _scramble(self, line_addr: int) -> int:
         """Map the line address into the encrypted index space.
 

@@ -305,6 +305,15 @@ class MirageCache(LLCache):
         return self.randomizer.bulk_map(line_addrs, sdid)
 
     @property
+    def index_randomizer(self):
+        """The :class:`~repro.crypto.randomizer.IndexRandomizer` in use.
+
+        Uniform accessor across randomized designs; the drive loop uses
+        it to decide on (and feed) ahead-of-time index translation.
+        """
+        return self.randomizer
+
+    @property
     def mapping_cache_capacity(self) -> int:
         """LRU mapping-cache capacity (drives the pre-warm heuristic)."""
         return self.randomizer.memo_capacity

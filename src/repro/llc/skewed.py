@@ -68,6 +68,11 @@ class SkewedRandomizedCache(LLCache):
         self._fills_since_remap = 0
         self.remaps = 0
 
+    @property
+    def index_randomizer(self):
+        """The :class:`~repro.crypto.randomizer.IndexRandomizer` in use."""
+        return self._randomizer
+
     def _hash_sdid(self, sdid: int) -> int:
         return sdid if self.use_sdid_in_hash else 0
 

@@ -17,6 +17,7 @@ data-dependent, which no oracle can reproduce draw-for-draw).
 from .data_store import DataStore as ReferenceDataStore
 from .maya import MayaCache as ReferenceMayaCache
 from .mirage import MirageCache as ReferenceMirageCache
+from .prince import ScalarPrince
 from .set_assoc import SetAssociativeCache as ReferenceSetAssociativeCache
 from .tag_store import SkewedTagStore as ReferenceSkewedTagStore
 
@@ -26,4 +27,5 @@ __all__ = [
     "ReferenceMirageCache",
     "ReferenceSetAssociativeCache",
     "ReferenceSkewedTagStore",
+    "ScalarPrince",
 ]

@@ -1,0 +1,127 @@
+"""Scalar (pre-fusion) PRINCE interpreter — the cipher's differential oracle.
+
+This module retains the original layer-by-layer implementation of
+:mod:`repro.crypto.prince` exactly as it ran before the fused position
+tables landed: per-nibble ``S`` loops, the 16-bit-chunk ``M'`` tables,
+and an explicit ``ShiftRows`` permutation walk, stepped round by round
+by :func:`_core_scheduled`.  It deliberately shares only *constants*
+(S-boxes, round constants, chunk tables, permutations) with the
+production module; every round function here is an independent code
+path, so a bug in the fused tables or the fused key schedule cannot
+cancel out in the comparison.
+
+The differential tests drive :class:`ScalarPrince` and
+:class:`repro.crypto.prince.Prince` with the published test vectors and
+randomized blocks and require bit-identical ciphertexts.
+"""
+
+from __future__ import annotations
+
+from ..crypto.prince import (
+    ALPHA,
+    ROUND_CONSTANTS,
+    SBOX,
+    SBOX_INV,
+    _MASK64,
+    _MHAT0_TABLE,
+    _MHAT1_TABLE,
+    _SR,
+    _SR_INV,
+    _whitening_key,
+)
+
+
+def _s_layer(state: int, box=SBOX) -> int:
+    out = 0
+    for shift in range(0, 64, 4):
+        out |= box[(state >> shift) & 0xF] << shift
+    return out
+
+
+def _m_prime_layer(state: int) -> int:
+    """Apply the involutory M' matrix (chunks use M^hat_0,1,1,0)."""
+    c0 = _MHAT0_TABLE[(state >> 48) & 0xFFFF]
+    c1 = _MHAT1_TABLE[(state >> 32) & 0xFFFF]
+    c2 = _MHAT1_TABLE[(state >> 16) & 0xFFFF]
+    c3 = _MHAT0_TABLE[state & 0xFFFF]
+    return (c0 << 48) | (c1 << 32) | (c2 << 16) | c3
+
+
+def _shift_rows(state: int, permutation=_SR) -> int:
+    out = 0
+    for i in range(16):
+        nibble = (state >> (4 * (15 - permutation[i]))) & 0xF
+        out |= nibble << (4 * (15 - i))
+    return out
+
+
+def _m_layer(state: int) -> int:
+    """M = SR o M'."""
+    return _shift_rows(_m_prime_layer(state))
+
+
+def _m_layer_inv(state: int) -> int:
+    """M^-1 = M' o SR^-1 (M' is an involution)."""
+    return _m_prime_layer(_shift_rows(state, _SR_INV))
+
+
+def _core(state: int, k1: int) -> int:
+    """The 12-round PRINCE_core keyed by ``k1``."""
+    return _core_scheduled(state, tuple(rc ^ k1 for rc in ROUND_CONSTANTS))
+
+
+def _core_scheduled(state: int, round_keys) -> int:
+    """PRINCE_core over a precomputed key schedule.
+
+    ``round_keys[i]`` is ``ROUND_CONSTANTS[i] ^ k1``, optionally with
+    the FX whitening key folded into the first/last entries.
+    """
+    state ^= round_keys[0]
+    for i in range(1, 6):
+        state = _s_layer(state)
+        state = _m_layer(state)
+        state ^= round_keys[i]
+    state = _s_layer(state)
+    state = _m_prime_layer(state)
+    state = _s_layer(state, SBOX_INV)
+    for i in range(6, 11):
+        state ^= round_keys[i]
+        state = _m_layer_inv(state)
+        state = _s_layer(state, SBOX_INV)
+    state ^= round_keys[11]
+    return state
+
+
+class ScalarPrince:
+    """PRINCE bound to a 128-bit key, evaluated by the scalar interpreter.
+
+    Same key-schedule construction as the production
+    :class:`repro.crypto.prince.Prince` (FX whitening folded into the
+    outer round keys), but every block walks the per-nibble round
+    functions above.
+    """
+
+    def __init__(self, key: int):
+        if not 0 <= key < (1 << 128):
+            raise ValueError("PRINCE key must be a 128-bit integer")
+        self._k0 = (key >> 64) & _MASK64
+        self._k1 = key & _MASK64
+        self._k0_prime = _whitening_key(self._k0)
+        enc = [rc ^ self._k1 for rc in ROUND_CONSTANTS]
+        enc[0] ^= self._k0
+        enc[11] ^= self._k0_prime
+        self._enc_schedule = tuple(enc)
+        dec = [rc ^ self._k1 ^ ALPHA for rc in ROUND_CONSTANTS]
+        dec[0] ^= self._k0_prime
+        dec[11] ^= self._k0
+        self._dec_schedule = tuple(dec)
+
+    @property
+    def key(self) -> int:
+        return (self._k0 << 64) | self._k1
+
+    def encrypt(self, plaintext: int) -> int:
+        return _core_scheduled(plaintext & _MASK64, self._enc_schedule)
+
+    def decrypt(self, ciphertext: int) -> int:
+        return _core_scheduled(ciphertext & _MASK64, self._dec_schedule)

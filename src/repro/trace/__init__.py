@@ -10,6 +10,14 @@ from .compiled import (
     trace_key,
 )
 from .io import materialize, read_trace, write_trace
+from .translated import (
+    TRANSLATED_CACHE_ENV,
+    TranslatedTrace,
+    translate_trace,
+    translated_cache_dir,
+    translated_cache_info,
+    translated_key,
+)
 from .mixes import HETEROGENEOUS_MIXES, Mix, homogeneous, mixes_in_bin
 from .record import MemoryAccess, rebase, take
 from .workloads import (
@@ -28,9 +36,11 @@ __all__ = [
     "LLC_FITTING",
     "SPEC_MEMORY_INTENSIVE",
     "TRACE_CACHE_ENV",
+    "TRANSLATED_CACHE_ENV",
     "WORKLOADS",
     "CompiledTrace",
     "MemoryAccess",
+    "TranslatedTrace",
     "Mix",
     "WorkloadSpec",
     "compile_workload",
@@ -44,5 +54,9 @@ __all__ = [
     "trace_cache_dir",
     "trace_cache_info",
     "trace_key",
+    "translate_trace",
+    "translated_cache_dir",
+    "translated_cache_info",
+    "translated_key",
     "write_trace",
 ]

@@ -148,3 +148,74 @@ class TestPrewarm:
                 accesses_per_core=300, warmup_accesses=0, seed=2,
                 trace_cache=False)
         assert llc.tags.randomizer.cache_info().precomputed == 0
+
+
+class TestPretranslate:
+    """Ahead-of-time index translation must be invisible in results."""
+
+    PRINCE = dict(sets_per_skew=16, rng_seed=7, hash_algorithm="prince")
+
+    def test_prince_auto_pretranslate_matches_generator_oracle(self, system):
+        # pretranslate defaults to on for prince-mode compiled runs; the
+        # generator path (no pretranslation possible) is the oracle.
+        make = lambda: MayaCache(MayaConfig(**self.PRINCE))  # noqa: E731
+        llc_gen, llc_cmp = make(), make()
+        kwargs = dict(accesses_per_core=500, warmup_accesses=200, seed=11)
+        r_gen = run_mix(llc_gen, homogeneous("mcf", 2), system, compiled=False, **kwargs)
+        r_cmp = run_mix(llc_cmp, homogeneous("mcf", 2), system,
+                        compiled=True, trace_cache=False, **kwargs)
+        assert llc_cmp.index_randomizer.cache_info().precomputed > 0  # it fired
+        assert_bit_identical((llc_gen, r_gen), (llc_cmp, r_cmp))
+
+    def test_pretranslate_on_off_bit_identical(self, system):
+        make = lambda: MayaCache(MayaConfig(**self.PRINCE))  # noqa: E731
+        kwargs = dict(accesses_per_core=500, warmup_accesses=200, seed=11,
+                      trace_cache=False)
+        llc_off, llc_on = make(), make()
+        r_off = run_mix(llc_off, homogeneous("mcf", 2), system,
+                        pretranslate=False, **kwargs)
+        r_on = run_mix(llc_on, homogeneous("mcf", 2), system,
+                       pretranslate=True, translate_jobs=1, **kwargs)
+        assert llc_off.index_randomizer.cache_info().precomputed == 0
+        assert llc_on.index_randomizer.cache_info().precomputed > 0
+        assert_bit_identical((llc_off, r_off), (llc_on, r_on))
+
+    def test_splitmix_stays_off_by_default(self, system):
+        llc = MayaCache(MayaConfig(**MAYA))
+        run_mix(llc, homogeneous("mcf", 2), system,
+                accesses_per_core=300, warmup_accesses=0, seed=2,
+                trace_cache=False)
+        assert llc.index_randomizer.cache_info().precomputed == 0
+
+    def test_rekey_during_run_falls_back_to_live_randomizer(self, system):
+        # SAE-triggered rekeys drop the pretranslated side table mid-
+        # replay; from then on lookups must hit the live cipher and the
+        # two drive loops must stay in lockstep.
+        cfg = MayaConfig(
+            sets_per_skew=4, base_ways_per_skew=2, reuse_ways_per_skew=1,
+            invalid_ways_per_skew=0, rng_seed=5, hash_algorithm="prince",
+        )
+        make = lambda: MayaCache(cfg, on_sae="rekey", global_tag_eviction=False)  # noqa: E731
+        llc_gen, llc_cmp = make(), make()
+        kwargs = dict(accesses_per_core=800, warmup_accesses=200, seed=13)
+        r_gen = run_mix(llc_gen, homogeneous("mcf", 2), system, compiled=False, **kwargs)
+        r_cmp = run_mix(llc_cmp, homogeneous("mcf", 2), system,
+                        compiled=True, trace_cache=False, pretranslate=True,
+                        translate_jobs=1, **kwargs)
+        assert llc_cmp.stats.saes > 0  # rekeys actually happened
+        assert llc_cmp.index_randomizer.epoch > 1
+        assert llc_cmp.index_randomizer.cache_info().precomputed == 0  # dropped
+        assert_bit_identical((llc_gen, r_gen), (llc_cmp, r_cmp))
+
+    def test_mirage_pretranslate(self, system):
+        make = lambda: MirageCache(  # noqa: E731
+            MirageConfig(sets_per_skew=16, rng_seed=7, hash_algorithm="prince")
+        )
+        llc_off, llc_on = make(), make()
+        kwargs = dict(accesses_per_core=500, warmup_accesses=200, seed=11,
+                      trace_cache=False)
+        r_off = run_mix(llc_off, homogeneous("mcf", 2), system,
+                        pretranslate=False, **kwargs)
+        r_on = run_mix(llc_on, homogeneous("mcf", 2), system, **kwargs)
+        assert llc_on.index_randomizer.cache_info().precomputed > 0
+        assert_bit_identical((llc_off, r_off), (llc_on, r_on))

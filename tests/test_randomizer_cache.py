@@ -185,3 +185,131 @@ class TestBulkMap:
         assert cache.mapping_cache_capacity == cache.tags.randomizer.memo_capacity
         assert cache.bulk_map(range(40), sdid=1) == 40
         assert cache.tags.randomizer.cache_info().precomputed == 40
+
+
+class TestPrecomputedBound:
+    """The bulk_map side table is FIFO-bounded: no memory leak."""
+
+    def test_capacity_enforced_with_eviction_counter(self):
+        r = IndexRandomizer(2, 64, seed=3, algorithm="splitmix", precomputed_capacity=30)
+        assert r.precomputed_capacity == 30
+        r.bulk_map(range(100))
+        info = r.cache_info()
+        assert info.precomputed == 30
+        assert info.precomputed_evictions == 70
+        # The survivors are the most recently installed (FIFO evicts oldest).
+        assert set(r._precomputed) == {(a, 0) for a in range(70, 100)}
+
+    def test_evicted_entries_recompute_correctly(self):
+        r = IndexRandomizer(2, 64, seed=3, algorithm="splitmix", precomputed_capacity=10)
+        r.bulk_map(range(50))
+        for addr in range(50):  # evicted or not, values must match the cipher
+            assert r.all_indices(addr) == r.compute_indices(addr)
+
+    def test_clear_precomputed(self):
+        r = IndexRandomizer(2, 64, seed=3, algorithm="splitmix")
+        r.bulk_map(range(25))
+        r.all_indices(0)
+        before = r.cache_info()
+        assert r.clear_precomputed() == 25
+        after = r.cache_info()
+        assert after.precomputed == 0
+        # Memo contents and counters untouched.
+        assert (after.hits, after.misses, after.size) == (before.hits, before.misses, before.size)
+
+    def test_invalid_capacity_rejected(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            IndexRandomizer(2, 64, precomputed_capacity=0)
+
+
+class TestTranslateAndLoadPacked:
+    """Batch translation is the bulk_map substrate and must match it."""
+
+    def test_translate_matches_compute_indices(self):
+        for algorithm in ("prince", "splitmix"):
+            r = IndexRandomizer(2, 256, seed=11, algorithm=algorithm)
+            addrs = list(range(0, 600, 3))
+            columns = r.translate(addrs, sdid=2)
+            assert len(columns) == 2
+            for i, addr in enumerate(addrs):
+                assert tuple(c[i] for c in columns) == r.compute_indices(addr, 2)
+            # translate() itself caches nothing.
+            assert r.cache_info().precomputed == 0
+
+    def test_load_packed_feeds_the_miss_path(self):
+        r = IndexRandomizer(2, 256, seed=11, algorithm="prince")
+        addrs = list(range(100))
+        assert r.load_packed(addrs, r.translate(addrs)) == 100
+        assert r.cache_info().precomputed == 100
+        for addr in addrs:
+            assert r.all_indices(addr) == r.compute_indices(addr)
+
+    def test_load_packed_validates_column_count(self):
+        from repro.common.errors import ConfigurationError
+
+        r = IndexRandomizer(2, 256, seed=11, algorithm="splitmix")
+        with pytest.raises(ConfigurationError, match="index columns"):
+            r.load_packed([1, 2], r.translate([1, 2])[:1])
+
+    def test_bulk_map_equals_translate_install(self):
+        a = IndexRandomizer(2, 128, seed=4, algorithm="splitmix")
+        b = IndexRandomizer(2, 128, seed=4, algorithm="splitmix")
+        addrs = list(range(200))
+        a.bulk_map(addrs, sdid=1)
+        b.load_packed(addrs, b.translate(addrs, 1), sdid=1)
+        assert a._precomputed == b._precomputed
+
+
+class TestKeyFingerprint:
+    def test_sensitive_to_every_mapping_input(self):
+        base = IndexRandomizer(2, 256, seed=7, algorithm="prince")
+        distinct = {
+            base.key_fingerprint(),
+            IndexRandomizer(2, 256, seed=8, algorithm="prince").key_fingerprint(),
+            IndexRandomizer(2, 256, seed=7, algorithm="splitmix").key_fingerprint(),
+            IndexRandomizer(3, 256, seed=7, algorithm="prince").key_fingerprint(),
+            IndexRandomizer(2, 512, seed=7, algorithm="prince").key_fingerprint(),
+        }
+        assert len(distinct) == 5
+
+    def test_stable_within_epoch_changes_on_rekey(self):
+        r = IndexRandomizer(2, 256, seed=7, algorithm="prince")
+        assert r.key_fingerprint() == r.key_fingerprint()
+        before = r.key_fingerprint()
+        r.rekey()
+        assert r.key_fingerprint() != before
+
+    def test_same_seed_same_fingerprint(self):
+        a = IndexRandomizer(2, 256, seed=7, algorithm="prince")
+        b = IndexRandomizer(2, 256, seed=7, algorithm="prince")
+        assert a.key_fingerprint() == b.key_fingerprint()
+
+
+class TestSplitmixHelper:
+    def test_shared_mixer_is_the_inlined_mixer(self):
+        # The dedup must not change a single mapping: recompute the
+        # two-skew specialized path against a by-hand mixer evaluation.
+        from repro.crypto.randomizer import splitmix64
+
+        r = IndexRandomizer(2, 256, seed=9, algorithm="splitmix")
+        m64 = (1 << 64) - 1
+        for addr in (0, 1, 12345, 2**40 - 3):
+            expected = []
+            for key in r._mix_keys:
+                x = splitmix64((addr ^ key) & m64)
+                f = 0
+                bits = r.index_bits
+                while x:
+                    f ^= x & ((1 << bits) - 1)
+                    x >>= bits
+                expected.append(f)
+            assert r.compute_indices(addr) == tuple(expected)
+
+    def test_encrypt_address_uses_shared_mixer(self):
+        from repro.crypto.randomizer import splitmix64
+
+        r = IndexRandomizer(1, 64, seed=3, algorithm="splitmix")
+        addr = 987654321
+        assert r.encrypt_address(addr) == splitmix64(addr ^ r._mix_keys[0])

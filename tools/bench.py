@@ -11,12 +11,14 @@ Usage::
 
     python tools/bench.py                       # full protocol, print table
     python tools/bench.py --quick               # CI-sized protocol
-    python tools/bench.py --both --out BENCH_4.json   # regenerate the
+    python tools/bench.py --both --out BENCH_5.json   # regenerate the
                                                       # checked-in baseline
     python tools/bench.py --quick --verify      # + reference-engine
                                                 # equivalence check
-    python tools/bench.py --quick --baseline BENCH_4.json --check-regression 25
+    python tools/bench.py --quick --baseline BENCH_5.json --check-regression 25
     python tools/bench.py --no-trace-cache      # recompile traces every trial
+                                                # (also disables the
+                                                # translated-index cache)
 
 ``--check-regression PCT`` exits 1 if measured Maya throughput falls
 more than PCT percent below the checked-in baseline's figure for the
@@ -33,11 +35,14 @@ the path (``pip install -e .`` or ``PYTHONPATH=src``).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
+import random
 import statistics
 import sys
 import time
+from array import array
 
 from repro.core.maya_cache import MayaCache
 from repro.harness.presets import experiment_maya, experiment_mirage, experiment_system
@@ -46,6 +51,7 @@ from repro.llc.baseline import BaselineLLC
 from repro.llc.mirage import MirageCache
 from repro.trace.compiled import TRACE_CACHE_ENV, trace_cache_info
 from repro.trace.mixes import homogeneous
+from repro.trace.translated import translated_cache_info
 
 #: Canonical protocol (matched by the checked-in BENCH_*.json files).
 FULL = {"llc_sets": 512, "cores": 8, "accesses_per_core": 12000,
@@ -59,16 +65,67 @@ QUICK = {"llc_sets": 512, "cores": 8, "accesses_per_core": 3000,
 #: speedup claims in DESIGN.md.
 PRE_SOA_ANCHOR = {"maya": 14637.6, "mirage": 16646.0, "baseline": 20016.5}
 
+#: Prince-mode Maya throughput on the development machine at the
+#: BENCH_4 code (scalar per-nibble cipher, no index pretranslation),
+#: FULL protocol - the anchor for the fused-kernel speedup claim.
+PRE_FUSED_PRINCE_ANCHOR = {"maya_prince": 6228.5}
+
 
 def _make_llc(design: str, params: dict):
     sets, seed = params["llc_sets"], params["seed"]
     if design == "maya":
         return MayaCache(experiment_maya(llc_sets=sets, seed=seed))
+    if design == "maya_prince":
+        # The paper's actual cipher (security-mode runs); the presets
+        # default to splitmix for the performance sweeps.
+        return MayaCache(
+            dataclasses.replace(
+                experiment_maya(llc_sets=sets, seed=seed), hash_algorithm="prince"
+            )
+        )
     if design == "mirage":
         return MirageCache(experiment_mirage(llc_sets=sets, seed=seed))
     if design == "baseline":
         return BaselineLLC(experiment_system(llc_sets=sets).llc_geometry)
     raise ValueError(f"unknown design {design!r}")
+
+
+def bench_cipher_kernels(blocks: int = 20000, seed: int = 123) -> dict:
+    """Microbenchmark the PRINCE kernels: scalar oracle vs fused tables.
+
+    Reports blocks/second for the retained per-nibble interpreter
+    (``repro.reference.prince``), the fused single-block kernel, and
+    the ``encrypt_many`` batch loop (the ``bulk_map`` / pretranslation
+    substrate).  Outputs are cross-checked so a wrong kernel can never
+    post a fast number.
+    """
+    from repro.crypto.prince import Prince
+    from repro.reference.prince import ScalarPrince
+
+    rng = random.Random(seed)
+    key = rng.getrandbits(128)
+    data = array("Q", (rng.getrandbits(64) for _ in range(blocks)))
+    scalar_n = max(1, blocks // 10)
+    scalar = ScalarPrince(key)
+    t0 = time.perf_counter()
+    scalar_out = [scalar.encrypt(b) for b in data[:scalar_n]]
+    scalar_secs = time.perf_counter() - t0
+    fused = Prince(key)
+    t0 = time.perf_counter()
+    fused_out = [fused.encrypt(b) for b in data]
+    fused_secs = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batch_out = fused.encrypt_many(data)
+    batch_secs = time.perf_counter() - t0
+    if fused_out[:scalar_n] != scalar_out or list(batch_out) != fused_out:
+        raise AssertionError("cipher kernels disagree - refusing to report timings")
+    return {
+        "blocks": blocks,
+        "scalar_blocks_per_sec": round(scalar_n / scalar_secs, 1),
+        "fused_blocks_per_sec": round(blocks / fused_secs, 1),
+        "fused_batch_blocks_per_sec": round(blocks / batch_secs, 1),
+        "batch_speedup_vs_scalar": round((blocks / batch_secs) / (scalar_n / scalar_secs), 2),
+    }
 
 
 def bench_design(design: str, params: dict, make_llc=_make_llc) -> dict:
@@ -77,9 +134,11 @@ def bench_design(design: str, params: dict, make_llc=_make_llc) -> dict:
     system = experiment_system(cores=params["cores"], llc_sets=params["llc_sets"])
     total_accesses = (params["accesses_per_core"] + params["warmup_per_core"]) * params["cores"]
     seconds, mpki, hit_rate, trace_trials = [], None, 0.0, []
+    translated_trials = []
     for _ in range(params["trials"]):
         llc = make_llc(design, params)
         before = trace_cache_info()
+        tix_before = translated_cache_info()
         t0 = time.perf_counter()
         result = run_mix(
             llc, mix, system,
@@ -89,6 +148,7 @@ def bench_design(design: str, params: dict, make_llc=_make_llc) -> dict:
         )
         seconds.append(time.perf_counter() - t0)
         after = trace_cache_info()
+        tix_after = translated_cache_info()
         # Per-trial trace-cache activity: the first trial compiles (or
         # loads from disk), later trials should be pure memory hits.
         trace_trials.append({
@@ -98,6 +158,17 @@ def bench_design(design: str, params: dict, make_llc=_make_llc) -> dict:
             "generation_seconds": round(
                 (after.compile_seconds - before.compile_seconds)
                 + (after.load_seconds - before.load_seconds), 4),
+        })
+        # Same shape for the translated-index cache (prince designs
+        # only; splitmix runs leave every counter at zero).  Warm
+        # trials should show ~0s translation.
+        translated_trials.append({
+            "memory_hits": tix_after.memory_hits - tix_before.memory_hits,
+            "disk_hits": tix_after.disk_hits - tix_before.disk_hits,
+            "translations": tix_after.translations - tix_before.translations,
+            "translation_seconds": round(
+                (tix_after.translate_seconds - tix_before.translate_seconds)
+                + (tix_after.load_seconds - tix_before.load_seconds), 4),
         })
         hit_rate = result.llc_randomizer_hit_rate
         if mpki is None:
@@ -114,16 +185,17 @@ def bench_design(design: str, params: dict, make_llc=_make_llc) -> dict:
         "randomizer_hit_rate": hit_rate,
         "trial_seconds": [round(s, 3) for s in seconds],
         "trace_cache_trials": trace_trials,
+        "translated_cache_trials": translated_trials,
     }
 
 
-def run_protocol(params: dict, designs=("maya", "mirage", "baseline")) -> dict:
+def run_protocol(params: dict, designs=("maya", "maya_prince", "mirage", "baseline")) -> dict:
     results = {}
     for design in designs:
         results[design] = bench_design(design, params)
         r = results[design]
         print(
-            f"  {design:9s} {r['accesses_per_sec_best']:>10.1f} acc/s best "
+            f"  {design:11s} {r['accesses_per_sec_best']:>10.1f} acc/s best "
             f"({r['accesses_per_sec_median']:>9.1f} median over "
             f"{params['trials']} trials)  mpki={r['llc_mpki']:.6f}"
         )
@@ -140,20 +212,30 @@ def verify_against_reference(params: dict) -> None:
     """
     from repro.reference import ReferenceMayaCache
 
+    def maya_config(design, p):
+        cfg = experiment_maya(llc_sets=p["llc_sets"], seed=p["seed"])
+        if design == "maya_prince":
+            cfg = dataclasses.replace(cfg, hash_algorithm="prince")
+        return cfg
+
     def make(design, p):
-        return ReferenceMayaCache(experiment_maya(llc_sets=p["llc_sets"], seed=p["seed"]))
+        return ReferenceMayaCache(maya_config(design, p))
 
     ref_params = dict(params, trials=1)
-    reference = bench_design("maya", ref_params, make_llc=make)
-    packed = bench_design("maya", ref_params)
-    if reference["llc_mpki"] != packed["llc_mpki"]:
+    for design in ("maya", "maya_prince"):
+        reference = bench_design(design, ref_params, make_llc=make)
+        packed = bench_design(design, ref_params)
+        if reference["llc_mpki"] != packed["llc_mpki"]:
+            print(
+                f"EQUIVALENCE FAILURE: packed {design} mpki {packed['llc_mpki']} != "
+                f"reference {reference['llc_mpki']}",
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
         print(
-            f"EQUIVALENCE FAILURE: packed maya mpki {packed['llc_mpki']} != "
-            f"reference {reference['llc_mpki']}",
-            file=sys.stderr,
+            f"  reference equivalence OK [{design}] "
+            f"(mpki={packed['llc_mpki']:.6f} both engines)"
         )
-        raise SystemExit(1)
-    print(f"  reference equivalence OK (mpki={packed['llc_mpki']:.6f} both engines)")
 
 
 def check_regression(measured: dict, baseline_path: str, protocol: str, pct: float) -> int:
@@ -175,17 +257,23 @@ def check_regression(measured: dict, baseline_path: str, protocol: str, pct: flo
                 file=sys.stderr,
             )
             failures += 1
-    floor = base["results"]["maya"]["accesses_per_sec_best"] * (1 - pct / 100.0)
-    got = measured["maya"]["accesses_per_sec_best"]
-    if got < floor:
-        print(
-            f"REGRESSION (maya): {got:.1f} acc/s is more than {pct:.0f}% below "
-            f"the baseline {base['results']['maya']['accesses_per_sec_best']:.1f}",
-            file=sys.stderr,
-        )
-        failures += 1
+    floors = []
+    for design in ("maya", "maya_prince"):
+        if design not in measured or design not in base["results"]:
+            continue
+        floor = base["results"][design]["accesses_per_sec_best"] * (1 - pct / 100.0)
+        got = measured[design]["accesses_per_sec_best"]
+        floors.append((design, got, floor))
+        if got < floor:
+            print(
+                f"REGRESSION ({design}): {got:.1f} acc/s is more than {pct:.0f}% below "
+                f"the baseline {base['results'][design]['accesses_per_sec_best']:.1f}",
+                file=sys.stderr,
+            )
+            failures += 1
     if not failures:
-        print(f"  regression check OK (maya {got:.1f} acc/s >= floor {floor:.1f})")
+        for design, got, floor in floors:
+            print(f"  regression check OK ({design} {got:.1f} acc/s >= floor {floor:.1f})")
     return 1 if failures else 0
 
 
@@ -215,7 +303,22 @@ def main(argv=None) -> int:
     if args.trials:
         params["trials"] = args.trials
 
-    payload = {"bench_id": 4, "pre_soa_anchor": PRE_SOA_ANCHOR, "protocols": {}}
+    print("[cipher kernels] scalar vs fused PRINCE")
+    kernels = bench_cipher_kernels()
+    print(
+        f"  scalar {kernels['scalar_blocks_per_sec']:>9.1f} blk/s | "
+        f"fused {kernels['fused_blocks_per_sec']:>9.1f} blk/s | "
+        f"batch {kernels['fused_batch_blocks_per_sec']:>9.1f} blk/s "
+        f"({kernels['batch_speedup_vs_scalar']:.1f}x vs scalar)"
+    )
+
+    payload = {
+        "bench_id": 5,
+        "pre_soa_anchor": PRE_SOA_ANCHOR,
+        "pre_fused_prince_anchor": PRE_FUSED_PRINCE_ANCHOR,
+        "cipher_kernels": kernels,
+        "protocols": {},
+    }
     print(f"[{protocol}] {params}")
     results = run_protocol(params)
     payload["protocols"][protocol] = {"params": params, "results": results}
