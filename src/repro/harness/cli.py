@@ -7,6 +7,12 @@ Usage::
     python -m repro.harness.cli fig9 --fast
     python -m repro.harness.cli table8 fig1 --fast --jobs 2
     python -m repro.harness.cli all --fast --jobs 4 --json results/all.json
+    python -m repro.harness.cli campaign --quick --seed 7 --jobs 2
+
+``campaign`` is a subcommand with its own options (``campaign
+--help``): it runs the adversarial security campaign - every attack
+against every LLC design - and writes the deterministic scorecard to
+``results/SCORECARD.json``.
 
 ``--fast`` shrinks iteration counts ~4x for a quick smoke run; default
 counts match the benchmark suite.  ``--jobs N`` runs experiments on N
@@ -159,7 +165,82 @@ def build_tasks(
     return tasks
 
 
+def campaign_main(argv: List[str]) -> int:
+    """The ``campaign`` subcommand: the adversarial security scorecard.
+
+    Fans the (design, attack) matrix out through the shard runner and
+    writes ``results/SCORECARD.json`` in canonical form; two runs with
+    the same seed produce byte-identical scorecards regardless of
+    ``--jobs``.
+    """
+    from ..security import campaign
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments campaign",
+        description="Attack every LLC design and emit a security scorecard.",
+    )
+    parser.add_argument("--quick", action="store_true", help="small caches, few trials (CI smoke)")
+    parser.add_argument("--seed", type=int, default=7, metavar="S", help="campaign seed (default 7)")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (0 = one per CPU, capped at 8; default 1 = serial)",
+    )
+    parser.add_argument(
+        "--designs", default=None, metavar="A,B",
+        help=f"comma-separated designs (default all: {','.join(campaign.DESIGNS)})",
+    )
+    parser.add_argument(
+        "--attacks", default=None, metavar="X,Y",
+        help=f"comma-separated attacks (default all: {','.join(campaign.ATTACKS)})",
+    )
+    parser.add_argument(
+        "--scorecard", default=os.path.join("results", "SCORECARD.json"), metavar="PATH",
+        help="scorecard output path (default results/SCORECARD.json)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the runner summary (timings, report text) to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    designs = args.designs.split(",") if args.designs else None
+    attacks = args.attacks.split(",") if args.attacks else None
+    task = runner.ExperimentTask(
+        name="campaign",
+        description="adversarial security campaign",
+        module="repro.security.campaign",
+        kwargs={
+            "designs": designs,
+            "attacks": attacks,
+            "seed": args.seed,
+            "quick": args.quick,
+            "scorecard_path": args.scorecard,
+        },
+    )
+    jobs = runner.default_jobs() if args.jobs == 0 else max(1, args.jobs)
+    progress = (lambda line: print(f"[runner] {line}", file=sys.stderr)) if jobs > 1 else None
+    start = time.perf_counter()
+    results = runner.run_tasks([task], jobs=jobs, progress=progress)
+    wall_seconds = time.perf_counter() - start
+    result = results[0]
+    if args.json:
+        runner.write_summary(
+            args.json, results, jobs, wall_seconds,
+            extra={"quick": args.quick, "seed": args.seed, "scorecard": args.scorecard},
+        )
+    if not result.ok:
+        print(f"campaign FAILED after {result.seconds:.1f}s", file=sys.stderr)
+        print(result.error, file=sys.stderr)
+        return 1
+    print(result.text)
+    print(f"scorecard written to {args.scorecard} [{wall_seconds:.1f}s]")
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "campaign":
+        return campaign_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the Maya paper's tables and figures.",
@@ -203,6 +284,7 @@ def main(argv=None) -> int:
     if args.experiments == ["list"]:
         for name, (description, _, _) in _REGISTRY.items():
             print(f"{name:10s} {description}")
+        print("campaign   adversarial security scorecard (see 'campaign --help')")
         return 0
 
     names = list(_REGISTRY) if "all" in args.experiments else args.experiments

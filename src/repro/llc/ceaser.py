@@ -40,6 +40,7 @@ class CeaserCache(LLCache):
         remap_period: int = 100_000,
         seed: Optional[int] = None,
         hash_algorithm: str = "prince",
+        policy: str = "lru",
     ):
         self.geometry = geometry or PAPER_BASELINE
         self.remap_period = remap_period
@@ -47,7 +48,7 @@ class CeaserCache(LLCache):
             1, self.geometry.sets, seed=derive_seed(seed, 11), algorithm=hash_algorithm
         )
         self._cache = SetAssociativeCache(
-            self.geometry, policy="lru", seed=derive_seed(seed, 12), name="CEASER"
+            self.geometry, policy=policy, seed=derive_seed(seed, 12), name="CEASER"
         )
         self.stats = self._cache.stats
         self._fills_since_remap = 0
@@ -94,6 +95,10 @@ class CeaserCache(LLCache):
         self._randomizer.rekey()
         self._fills_since_remap = 0
         self.remaps += 1
+
+    def rekey(self) -> None:
+        """Uniform probe-surface alias for :meth:`remap`."""
+        self.remap()
 
     def invalidate(self, line_addr: int, sdid: int = 0) -> Optional[EvictedLine]:
         return self._cache.invalidate(self._scramble(line_addr))

@@ -8,6 +8,7 @@ Mirage / Maya / partitioned designs are interchangeable.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..cache.line import AccessResult, EvictedLine
@@ -59,3 +60,82 @@ class LLCache(abc.ABC):
     @abc.abstractmethod
     def occupancy_by_core(self) -> Dict[int, int]:
         """Data occupancy keyed by owning core (occupancy attacks)."""
+
+    # -- attacker-facing probe surface -------------------------------------
+    #
+    # The attack harnesses (repro.security.attacks, repro.security.campaign)
+    # drive every design through these three calls plus the helpers below,
+    # so a new design is attackable the moment it implements the ABC.
+
+    def probe(self, line_addr: int, sdid: int = 0) -> bool:
+        """Timing-visible residency probe (the attacker's reload).
+
+        Identical to :meth:`contains`; named separately so attack code
+        reads as the attack it models (prime / *probe*).
+        """
+        return self.contains(line_addr, sdid=sdid)
+
+    def rekey(self) -> None:
+        """Refresh the design's mapping keys, if it has any.
+
+        The base implementation is a no-op: a conventionally indexed
+        cache has no keys to refresh.  Randomized designs override this
+        (Maya/Mirage flush + draw fresh keys; CEASER-style designs
+        alias their epoch remap), so campaign code can sweep rekey
+        periods without per-design branches.
+        """
+
+
+@dataclass(frozen=True)
+class ProbeSurface:
+    """What one design exposes to an attacker, uniformly.
+
+    Built by :func:`probe_surface`; the campaign runner uses it to size
+    priming footprints and decide which attack variants apply.
+    """
+
+    capacity_lines: int  #: data entries an attacker can hope to occupy
+    index_public: bool  #: can the attacker compute set indices from addresses?
+    supports_rekey: bool  #: does :meth:`LLCache.rekey` change the mapping?
+
+
+def attack_capacity(llc) -> int:
+    """Timing-visible data capacity of any design, in lines.
+
+    Duck-typed so it also covers :class:`~repro.core.maya_cache.MayaCache`,
+    which implements the LLC surface without subclassing the ABC:
+    decoupled designs report their data-store entries, the fully
+    associative model its ``capacity_lines``, and conventional arrays
+    ``sets * ways``.
+    """
+    config = getattr(llc, "config", None)
+    if config is not None and hasattr(config, "data_entries"):
+        return config.data_entries
+    if hasattr(llc, "capacity_lines"):
+        return llc.capacity_lines
+    geometry = getattr(llc, "geometry", None)
+    if geometry is not None:
+        return geometry.sets * geometry.ways
+    raise TypeError(f"cannot derive an attack capacity for {type(llc).__name__}")
+
+
+def supports_rekey(llc) -> bool:
+    """Does ``llc`` have a real key refresh (not the base no-op)?"""
+    rekey = getattr(type(llc), "rekey", None)
+    return rekey is not None and rekey is not LLCache.rekey
+
+
+def design_rekey(llc) -> None:
+    """Invoke the design's key refresh; raises if it has none."""
+    if not supports_rekey(llc):
+        raise TypeError(f"{type(llc).__name__} has no mapping keys to refresh")
+    llc.rekey()
+
+
+def probe_surface(llc) -> ProbeSurface:
+    """The uniform attacker-facing description of one design."""
+    return ProbeSurface(
+        capacity_lines=attack_capacity(llc),
+        index_public=hasattr(llc, "set_index"),
+        supports_rekey=supports_rekey(llc),
+    )

@@ -295,6 +295,16 @@ class MirageCache(LLCache):
     def contains(self, line_addr: int, sdid: int = 0) -> bool:
         return ((line_addr << 16) | sdid) in self._where
 
+    def rekey(self) -> None:
+        """Refresh the randomizing keys and flush (key management).
+
+        Mirrors :meth:`repro.core.maya_cache.MayaCache.rekey`; the
+        randomizer's memo is cleared in place, so the bound
+        ``_indices_of`` lookup stays valid.
+        """
+        self.flush_all()
+        self.randomizer.rekey()
+
     def bulk_map(self, line_addrs, sdid: int = 0) -> int:
         """Pre-warm the index randomizer for a known address set.
 

@@ -150,6 +150,10 @@ class SkewedRandomizedCache(LLCache):
         self._fills_since_remap = 0
         self.remaps += 1
 
+    def rekey(self) -> None:
+        """Uniform probe-surface alias for :meth:`remap`."""
+        self.remap()
+
     def invalidate(self, line_addr: int, sdid: int = 0) -> Optional[EvictedLine]:
         loc = self._where.get((line_addr, self._hash_sdid(sdid)))
         if loc is None:

@@ -226,6 +226,11 @@ class MirageCache(LLCache):
     def contains(self, line_addr: int, sdid: int = 0) -> bool:
         return (line_addr, sdid) in self._where
 
+    def rekey(self) -> None:
+        """Refresh the randomizing keys and flush (key management)."""
+        self.flush_all()
+        self.randomizer.rekey()
+
     @property
     def occupancy(self) -> int:
         return self.data.used

@@ -1,5 +1,7 @@
 """Security analysis: bucket-and-balls model, analytical Markov model,
-victim models, and attack harnesses."""
+victim models, attack harnesses, and the adversarial campaign
+(``repro.security.campaign``, which pits every attack against every
+LLC design on the live simulator and emits a deterministic scorecard)."""
 
 from .analytical import (
     PAPER_SEED_PR0,

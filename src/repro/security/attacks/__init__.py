@@ -1,8 +1,9 @@
-"""Attack harnesses: eviction sets, occupancy, and Flush+Reload."""
+"""Attack harnesses: eviction sets, occupancy, probes, and traffic."""
 
 from .eviction import (
     EvictionSetResult,
     TargetingResult,
+    conflicting_lines,
     construct_eviction_set,
     targeting_advantage,
 )
@@ -14,6 +15,9 @@ from .occupancy import (
     operations_to_distinguish,
     welch_t,
 )
+from .policy_probe import PolicyProbeResult, rekey_sweep, replacement_leakage
+from .ppp import PPPResult, prime_prune_probe
+from .traffic import RecordingLLC, eviction_storm_ops, prime_probe_ops, replay
 
 __all__ = [
     "EvictionSetResult",
@@ -21,12 +25,22 @@ __all__ = [
     "FlushReloadResult",
     "OccupancyAttackResult",
     "OccupancyAttacker",
+    "PPPResult",
+    "PolicyProbeResult",
+    "RecordingLLC",
     "TargetingResult",
+    "conflicting_lines",
     "construct_eviction_set",
+    "eviction_storm_ops",
     "fingerprint_accuracy",
     "flush_reload_accuracy",
     "occupancy_trace",
     "operations_to_distinguish",
+    "prime_probe_ops",
+    "prime_prune_probe",
+    "rekey_sweep",
+    "replacement_leakage",
+    "replay",
     "targeting_advantage",
     "welch_t",
 ]

@@ -51,7 +51,7 @@ class TargetingResult:
         return self.targeted_eviction_rate / floor
 
 
-def _conflicting_lines(llc: LLCache, victim: int, count: int, rng) -> List[int]:
+def conflicting_lines(llc: LLCache, victim: int, count: int, rng) -> List[int]:
     """Lines that collide with the victim as seen by the *attacker*.
 
     For a conventionally indexed cache the attacker can compute set
@@ -72,6 +72,10 @@ def _conflicting_lines(llc: LLCache, victim: int, count: int, rng) -> List[int]:
         getattr(llc, "config", None), "sets_per_skew", 4096
     )
     return [victim + (i + 1) * sets for i in range(count)]
+
+
+#: Backward-compatible private alias (pre-campaign callers).
+_conflicting_lines = conflicting_lines
 
 
 def targeting_advantage(

@@ -233,3 +233,117 @@ class TestSetAssocDifferential:
         assert packed.flush_all() == reference.flush_all()
         assert packed.occupancy == 0
         drive_pair(packed, reference, ops[1000:], sdid_aware=False)
+
+
+# -- adversarial traffic (attack streams as engine fuzzers) ----------------
+
+
+def replay_pair(packed, reference, ops):
+    """Replay one attack-traffic op stream on both engines in lockstep.
+
+    Same op format as ``repro.security.attacks.traffic.replay``, but
+    every mutating call's result is compared across the pair, and a
+    ``("rekey",)`` op is applied to *both* sides (both Maya and Mirage
+    keep reference twins with a real ``rekey``).
+    """
+    for i, op in enumerate(ops):
+        kind = op[0]
+        if kind == "access":
+            _, line, is_write, core, is_writeback, sdid = op
+            kwargs = {"is_write": is_write, "core_id": core, "is_writeback": is_writeback}
+            rp = packed.access(line, sdid=sdid, **kwargs)
+            rr = reference.access(line, sdid=sdid, **kwargs)
+            assert rp == rr, f"op {i} {op!r} diverged:\n packed   ={rp}\n reference={rr}"
+        elif kind == "invalidate":
+            _, line, sdid = op
+            assert packed.invalidate(line, sdid=sdid) == reference.invalidate(line, sdid=sdid)
+        elif kind == "flush":
+            assert packed.flush_all() == reference.flush_all()
+        elif kind == "rekey":
+            packed.rekey()
+            reference.rekey()
+        else:
+            raise AssertionError(f"unknown traffic op {op!r}")
+    assert_state_equal(packed, reference)
+
+
+class TestAdversarialTraffic:
+    """Attack-shaped streams as differential fuzzers.
+
+    Attack harnesses concentrate pressure ordinary benchmark streams
+    spread out - flush storms, dense conflict groups, cross-SDID
+    interleavings, mid-stream rekeys.  Every stream must leave the
+    packed engine and its reference twin bit-identical.
+    """
+
+    pytestmark = pytest.mark.security
+
+    def test_eviction_storm_on_maya(self):
+        from repro.llc.interface import attack_capacity
+        from repro.security.attacks import eviction_storm_ops
+
+        packed, reference = maya_pair(sets=16, seed=43)
+        ops = eviction_storm_ops(attack_capacity(packed), rounds=3, seed=51)
+        replay_pair(packed, reference, ops)
+        assert packed.stats.evictions + packed.stats.tag_evictions > 0
+        assert packed.occupancy == 0  # each round ends in a flush
+
+    def test_eviction_storm_on_mirage(self):
+        from repro.llc.interface import attack_capacity
+        from repro.security.attacks import eviction_storm_ops
+
+        packed, reference = mirage_pair(seed=53, sets_per_skew=16)
+        ops = eviction_storm_ops(attack_capacity(packed), rounds=3, seed=51)
+        replay_pair(packed, reference, ops)
+        assert packed.stats.accesses == sum(1 for op in ops if op[0] == "access")
+
+    def test_prime_probe_with_mid_stream_rekeys_on_maya(self):
+        from repro.llc.interface import attack_capacity
+        from repro.security.attacks import prime_probe_ops
+
+        packed, reference = maya_pair(sets=16, seed=59)
+        ops = prime_probe_ops(
+            attack_capacity(packed), trials=8, rekey_period=2, seed=61
+        )
+        rekeys = sum(1 for op in ops if op[0] == "rekey")
+        assert rekeys == 3
+        epoch_before = packed.tags.randomizer.epoch
+        replay_pair(packed, reference, ops)
+        assert packed.tags.randomizer.epoch == epoch_before + rekeys
+
+    def test_prime_probe_with_mid_stream_rekeys_on_mirage(self):
+        from repro.llc.interface import attack_capacity
+        from repro.security.attacks import prime_probe_ops
+
+        packed, reference = mirage_pair(seed=67, sets_per_skew=16)
+        ops = prime_probe_ops(
+            attack_capacity(packed), trials=8, rekey_period=4, seed=61
+        )
+        assert any(op[0] == "rekey" for op in ops)
+        replay_pair(packed, reference, ops)
+
+    def test_recorded_ppp_traffic_replays_bit_identical(self):
+        """Record a *real* (adaptive) Prime+Prune+Probe run and replay
+        its exact traffic through a fresh pair.
+
+        The attack adapts to probe outcomes, so the recording target is
+        a packed Maya with the same seed as the pair: same seed, same
+        responses, so the recorded stream is exactly what the attack
+        would have issued against either twin.
+        """
+        from repro.core.maya_cache import MayaCache as PackedMaya
+        from repro.security.attacks import RecordingLLC, prime_prune_probe
+
+        cfg = dict(sets_per_skew=16, rng_seed=71, hash_algorithm="splitmix")
+        recorder = RecordingLLC(PackedMaya(MayaConfig(**cfg)))
+        result = prime_prune_probe(
+            recorder, target_size=4, max_rounds=3, confirm=1, seed=73
+        )
+        assert not result.found  # Maya, as ever
+        ops = recorder.ops
+        assert len(ops) > 100
+        assert any(op[0] == "flush" for op in ops)
+        assert any(op[0] == "access" and op[5] == 1 for op in ops)  # victim SDID
+        packed, reference = maya_pair(sets=16, seed=71)
+        replay_pair(packed, reference, ops)
+        assert packed.stats.accesses == sum(1 for op in ops if op[0] == "access")

@@ -1,0 +1,203 @@
+"""Seeded property tests: bucket-model equivalence and attack-RNG
+round trips.
+
+Randomized but reproducible (every case derives from an explicit seed,
+no ``hypothesis`` process-dependent shrinking): the reference and fast
+bucket-and-balls engines are driven over randomly drawn configurations
+and must agree - exactly where the fast engine falls back to the
+reference path (``skews != 2``), distributionally (conserved ball
+populations, invariants, matching occupancy mass) where it inlines its
+own 2-skew hot loop.  The attack layer's RNG streams must round-trip:
+the same seed reproduces an attack bit for bit, a different seed
+actually changes it.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.common.rng import derive_seed, make_rng
+from repro.security.buckets import BucketAndBallsModel, BucketModelConfig
+from repro.security.buckets_fast import FastBucketAndBallsModel
+from repro.security.attacks import (
+    OccupancyAttacker,
+    eviction_storm_ops,
+    prime_probe_ops,
+    prime_prune_probe,
+    replacement_leakage,
+    replay,
+)
+from repro.security.campaign import _make_design
+from repro.security.victims import AESVictim, aes_key_pair
+
+pytestmark = pytest.mark.security
+
+
+def random_bucket_config(rng, skews=2):
+    """One randomized (but valid) bucket-model configuration."""
+    p0 = rng.randrange(1, 4)
+    p1 = rng.randrange(2, 7)
+    capacity = None if rng.random() < 0.3 else p0 + p1 + rng.randrange(0, 4)
+    return BucketModelConfig(
+        skews=skews,
+        buckets_per_skew=rng.choice([8, 16, 32]),
+        avg_priority0_per_bucket=p0,
+        avg_priority1_per_bucket=p1,
+        bucket_capacity=capacity,
+        skew_policy=rng.choice(["load_aware", "random"]),
+        seed=rng.randrange(1 << 30),
+    )
+
+
+def histogram_mean(distribution):
+    return sum(k * p for k, p in distribution.items())
+
+
+# -- bucket model: reference vs fast --------------------------------------
+
+
+class TestBucketModelEquivalence:
+    ITERATIONS = 1500
+
+    @pytest.mark.parametrize("case", range(8))
+    def test_two_skew_fuzz_distributional(self, case):
+        """Random 2-skew configs: conserved populations, matching mass."""
+        rng = make_rng(derive_seed(0xB0C4, case))
+        config = random_bucket_config(rng, skews=2)
+        reference = BucketAndBallsModel(config)
+        fast = FastBucketAndBallsModel(config)
+        ref_result = reference.run(self.ITERATIONS)
+        fast_result = fast.run(self.ITERATIONS)
+        reference.check_invariants()
+        fast.check_invariants()
+        # Exact bookkeeping: both engines execute the same three-event
+        # iteration, so throws and iteration counts are equal by
+        # construction even though their random streams differ.
+        assert fast_result.iterations == ref_result.iterations == self.ITERATIONS
+        assert fast_result.throws == ref_result.throws == 2 * self.ITERATIONS
+        # Ball populations are conserved at steady state, so the
+        # time-averaged occupancy mean is pinned to the average load.
+        assert histogram_mean(ref_result.occupancy_probability) == pytest.approx(
+            config.average_load, abs=0.15
+        )
+        assert histogram_mean(fast_result.occupancy_probability) == pytest.approx(
+            config.average_load, abs=0.15
+        )
+        # Both distributions sum to ~1 and respect the capacity wall.
+        for result in (ref_result, fast_result):
+            assert sum(result.occupancy_probability.values()) == pytest.approx(1.0, abs=1e-9)
+            if config.bucket_capacity is not None:
+                assert max(result.occupancy_probability) <= config.bucket_capacity
+
+    @pytest.mark.parametrize("case", range(4))
+    def test_three_skew_fuzz_exact_fallback(self, case):
+        """skews != 2 takes the reference path: results must be identical."""
+        rng = make_rng(derive_seed(0xB0C5, case))
+        config = random_bucket_config(rng, skews=3)
+        ref_result = BucketAndBallsModel(config).run(600)
+        fast_result = FastBucketAndBallsModel(config).run(600)
+        assert dataclasses.asdict(fast_result) == dataclasses.asdict(ref_result)
+
+    def test_tight_capacity_spills_in_both_engines(self):
+        """At capacity == average load, spills are routine in both."""
+        config = BucketModelConfig(
+            skews=2,
+            buckets_per_skew=16,
+            avg_priority0_per_bucket=3,
+            avg_priority1_per_bucket=6,
+            bucket_capacity=9,
+            seed=5,
+        )
+        ref_result = BucketAndBallsModel(config).run(2000)
+        fast_result = FastBucketAndBallsModel(config).run(2000)
+        assert ref_result.spills > 100
+        assert fast_result.spills > 100
+        # Same event, same pressure: rates agree within 2x.
+        assert 0.5 < fast_result.spills / ref_result.spills < 2.0
+
+    def test_snapshot_accounts_every_bucket(self):
+        rng = make_rng(0xB0C6)
+        config = random_bucket_config(rng, skews=2)
+        model = FastBucketAndBallsModel(config)
+        model.run(300)
+        assert sum(model.occupancy_snapshot().values()) == config.total_buckets
+
+    def test_same_seed_same_fast_run(self):
+        config = BucketModelConfig(buckets_per_skew=16, seed=9)
+        a = FastBucketAndBallsModel(config).run(800)
+        b = FastBucketAndBallsModel(config).run(800)
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+# -- attack RNG round trips ------------------------------------------------
+
+
+class TestAttackRNGRoundTrips:
+    def test_ppp_reproducible_and_seed_sensitive(self):
+        results = [
+            prime_prune_probe(
+                _make_design("baseline", 16, 3), target_size=8, max_rounds=10, seed=s
+            )
+            for s in (11, 11, 12)
+        ]
+        assert dataclasses.asdict(results[0]) == dataclasses.asdict(results[1])
+        assert results[0].eviction_set != results[2].eviction_set
+
+    def test_policy_probe_reproducible_and_seed_sensitive(self):
+        # Rekeying mid-sweep makes accuracy depend on *where* in the
+        # schedule the victim ran, so the seed's schedule shuffle is
+        # visible in the aggregate (on a signal-free design it would
+        # not be: correct == trials/2 for any balanced schedule).
+        outcomes = [
+            replacement_leakage(
+                _make_design("ceaser", 16, 3), ways=8, trials=20, rekey_every=4, seed=s
+            )
+            for s in (21, 21, 22)
+        ]
+        assert dataclasses.asdict(outcomes[0]) == dataclasses.asdict(outcomes[1])
+        assert dataclasses.asdict(outcomes[0]) != dataclasses.asdict(outcomes[2])
+
+    def test_occupancy_samples_reproducible(self):
+        key_a, _ = aes_key_pair(31)
+        samples = []
+        for _ in range(2):
+            llc = _make_design("maya", 16, 5)
+            attacker = OccupancyAttacker(llc, attack_lines(llc), seed=41)
+            victim = AESVictim(key_a)
+            samples.append([attacker.measure_once(victim.encryption_accesses()) for _ in range(4)])
+        assert samples[0] == samples[1]
+
+    def test_traffic_generators_round_trip(self):
+        a = eviction_storm_ops(128, rounds=2, seed=17)
+        b = eviction_storm_ops(128, rounds=2, seed=17)
+        c = eviction_storm_ops(128, rounds=2, seed=18)
+        assert a == b and a != c
+        assert json.dumps(a)  # plain JSON-serializable tuples/lists
+        p = prime_probe_ops(128, trials=4, rekey_period=2, seed=19)
+        q = prime_probe_ops(128, trials=4, rekey_period=2, seed=19)
+        assert p == q
+        assert ("rekey",) in p
+
+    def test_traffic_replays_into_any_design(self):
+        ops = eviction_storm_ops(64, rounds=1, seed=23)
+        for design in ("baseline", "maya", "mirage"):
+            llc = _make_design(design, 16, 7)
+            applied = replay(llc, ops)
+            assert applied == len(ops)
+            assert llc.stats.accesses > 0
+
+    def test_replay_skips_rekey_on_static_designs(self):
+        ops = prime_probe_ops(64, trials=4, rekey_period=2, seed=29)
+        rekeys = sum(1 for op in ops if op[0] == "rekey")
+        assert rekeys > 0
+        llc = _make_design("baseline", 16, 7)
+        assert replay(llc, ops) == len(ops) - rekeys
+        maya = _make_design("maya", 16, 7)
+        assert replay(maya, ops) == len(ops)
+
+
+def attack_lines(llc):
+    from repro.llc.interface import attack_capacity
+
+    return attack_capacity(llc)

@@ -184,3 +184,146 @@ class TestLineage:
         mirage = MirageCache(MirageConfig(sets_per_skew=16, rng_seed=1, hash_algorithm="splitmix"))
         result = targeting_advantage(mirage, fills=64, trials=40, seed=1)
         assert result.targeted_eviction_rate <= result.random_eviction_rate + 0.25
+
+
+class TestPolicyLeakageAcrossPolicies:
+    """The one-line probe channel, under all four replacement policies.
+
+    Deterministic recency policies hand the attacker the victim bit
+    (the first-primed line is always the one displaced); random
+    replacement bounds the channel near a coin flip; Maya removes the
+    set-targeting entirely.
+    """
+
+    @pytest.mark.parametrize("policy", ["lru", "srrip", "brrip"])
+    def test_deterministic_policies_leak(self, policy):
+        from repro.security.attacks import replacement_leakage
+
+        llc = BaselineLLC(CacheGeometry(sets=16, ways=8), policy=policy, seed=3)
+        outcome = replacement_leakage(llc, ways=8, trials=40, seed=5)
+        assert outcome.accuracy >= 0.9
+
+    def test_random_policy_bounds_the_channel(self):
+        from repro.security.attacks import replacement_leakage
+
+        llc = BaselineLLC(CacheGeometry(sets=16, ways=8), policy="random", seed=3)
+        outcome = replacement_leakage(llc, ways=8, trials=60, seed=5)
+        # 0.5 + 1/(2*ways) plus sampling noise.
+        assert outcome.accuracy < 0.75
+
+    def test_maya_is_a_coin_flip(self):
+        from repro.security.attacks import replacement_leakage
+
+        outcome = replacement_leakage(small_maya_cache(sets=16), ways=8, trials=60, seed=5)
+        assert abs(outcome.accuracy - 0.5) <= 0.15
+
+
+class TestPrimePruneProbeAcrossPolicies:
+    """PPP observes conflicts instead of computing them, so it works
+    under any deterministic policy - and still dies against Maya."""
+
+    @pytest.mark.parametrize("policy", ["lru", "srrip", "brrip"])
+    def test_constructs_against_baseline(self, policy):
+        from repro.security.attacks import prime_prune_probe
+
+        llc = BaselineLLC(CacheGeometry(sets=16, ways=8), policy=policy, seed=3)
+        result = prime_prune_probe(llc, target_size=8, max_rounds=16, confirm=2, seed=9)
+        assert result.found
+        assert len(result.eviction_set) >= 8
+        assert result.construction_cost > 0
+
+    def test_fails_against_maya_with_full_budget(self):
+        from repro.security.attacks import prime_prune_probe
+
+        result = prime_prune_probe(
+            small_maya_cache(sets=16), target_size=8, max_rounds=10, confirm=2, seed=9
+        )
+        assert not result.found
+        assert result.eviction_set == []
+        assert result.rounds == 10  # burned the whole budget
+
+    def test_scatter_cache_resists_at_small_budget(self):
+        from repro.security.attacks import prime_prune_probe
+
+        llc = make_scatter_cache(CacheGeometry(sets=16, ways=8), seed=3)
+        result = prime_prune_probe(llc, target_size=8, max_rounds=10, confirm=2, seed=9)
+        assert not result.found
+
+
+class TestRekeyMidAttack:
+    """The defender's countermeasure: rekeying mid-attack invalidates
+    the attacker's accumulated mapping knowledge - including the
+    randomizer's pretranslated side tables (the PR 5 fallback path)."""
+
+    def test_ceaser_rekey_breaks_the_policy_probe(self):
+        from repro.llc import CeaserCache
+        from repro.security.attacks import replacement_leakage
+
+        def fresh(seed=3):
+            return CeaserCache(
+                CacheGeometry(sets=16, ways=8),
+                remap_period=10**9,
+                seed=seed,
+                hash_algorithm="splitmix",
+                policy="lru",
+            )
+
+        stable = replacement_leakage(fresh(), ways=8, trials=32, seed=5)
+        rekeyed = replacement_leakage(fresh(), ways=8, trials=32, rekey_every=4, seed=5)
+        assert stable.accuracy == 1.0
+        assert rekeyed.rekeys == 7
+        assert rekeyed.accuracy <= stable.accuracy - 0.2
+
+    def test_ceaser_rekey_breaks_ppp_construction(self):
+        from repro.llc import CeaserCache
+        from repro.security.attacks import prime_prune_probe
+
+        llc = CeaserCache(
+            CacheGeometry(sets=16, ways=8),
+            remap_period=10**9,
+            seed=3,
+            hash_algorithm="splitmix",
+            policy="lru",
+        )
+        # Rekey every round: no two rounds share a mapping, so caught
+        # lines never accumulate into a set that verifies.
+        result = prime_prune_probe(
+            llc, target_size=8, max_rounds=10, confirm=2, rekey_every=1, seed=9
+        )
+        assert not result.found
+
+    def test_maya_rekey_invalidates_pretranslated_indices(self):
+        """Attack traffic after rekey() must fall back to live
+        translation: the packed side table is invalidated, the epoch
+        advances, and the attack keeps running correctly."""
+        from repro.security.attacks import prime_prune_probe
+
+        llc = small_maya_cache(sets=16)
+        randomizer = llc.tags.randomizer
+        # Simulate the trace fast path: pretranslate some attack lines.
+        lines = list(range(0x6000_0000, 0x6000_0000 + 64))
+        randomizer.bulk_map(lines, 0)
+        info = randomizer.cache_info()
+        assert info.precomputed > 0
+        epoch_before = randomizer.epoch
+        prime_prune_probe(llc, target_size=4, max_rounds=2, confirm=1, seed=9)
+        llc.rekey()
+        info = randomizer.cache_info()
+        assert randomizer.epoch == epoch_before + 1
+        assert info.invalidations >= 1
+        assert info.precomputed == 0  # side table dropped with the keys
+        # The attack continues against the new mapping without error.
+        result = prime_prune_probe(llc, target_size=4, max_rounds=2, confirm=1, seed=10)
+        assert result.rounds == 2
+        llc.check_invariants()
+
+    def test_ppp_rekey_mid_attack_on_maya_runs_clean(self):
+        from repro.security.attacks import prime_prune_probe
+
+        llc = small_maya_cache(sets=16)
+        result = prime_prune_probe(
+            llc, target_size=8, max_rounds=6, confirm=2, rekey_every=2, seed=9
+        )
+        assert not result.found
+        assert llc.tags.randomizer.epoch >= 2
+        llc.check_invariants()

@@ -1,0 +1,75 @@
+"""Validate and render a security-campaign scorecard.
+
+Loads ``results/SCORECARD.json`` (or a given path), checks it against
+the ``repro.security.campaign/1`` schema, and prints the rendered
+attack-matrix tables.  CI runs this after the campaign smoke job so
+schema drift fails loudly instead of silently changing the artifact.
+
+Usage::
+
+    python tools/scorecard.py                       # results/SCORECARD.json
+    python tools/scorecard.py /tmp/sc.json
+    python tools/scorecard.py --quiet               # validate only
+
+Exit status: 0 valid, 1 unreadable, 2 schema mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.security import campaign  # noqa: E402
+
+
+def _policy_detail(scorecard) -> str:
+    """Per-design policy curves: one row per (policy, rekey period)."""
+    from repro.harness.formatting import render_table
+
+    rows = []
+    for design in scorecard["designs"]:
+        cell = scorecard["cells"][design].get("policy")
+        if cell is None:
+            continue
+        for policy, curve in sorted(cell["curves"].items()):
+            for period in sorted(curve, key=lambda p: (p != "never", int(p) if p != "never" else 0)):
+                rows.append([design, policy, period, f"{curve[period]:.3f}"])
+    if not rows:
+        return ""
+    return render_table(["design", "policy", "rekey every", "accuracy"], rows)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "path", nargs="?", default=os.path.join("results", "SCORECARD.json"),
+        help="scorecard path (default results/SCORECARD.json)",
+    )
+    parser.add_argument("--quiet", action="store_true", help="validate only, no tables")
+    args = parser.parse_args(argv)
+
+    try:
+        scorecard = campaign.load_scorecard(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read scorecard {args.path}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        campaign.validate_scorecard(scorecard)
+    except ValueError as exc:
+        print(f"schema error: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        print(campaign.report(scorecard))
+        detail = _policy_detail(scorecard)
+        if detail:
+            print()
+            print(detail)
+    print(f"{args.path}: valid {campaign.SCHEMA}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
