@@ -79,6 +79,10 @@ class MayaCache:
     """
 
     extra_lookup_latency = SECURE_LOOKUP_EXTRA_CYCLES
+    #: The vector replay engine (:mod:`repro.engine.vector`) transcribes
+    #: this design's inline hot paths; flipping this off forces the
+    #: scalar engine even when ``--engine vector`` is requested.
+    supports_vector_replay = True
 
     def __init__(
         self,
@@ -471,7 +475,7 @@ class MayaCache:
             window[(victim_addr, victim_sdid)] = True
             if len(window) > self._evicted_p0_window_size:
                 del window[next(iter(window))]
-            pos = pos_map.pop(victim)
+            pos = pos_map[victim]
             last = pool.pop()
             if last != victim:
                 pool[pos] = last

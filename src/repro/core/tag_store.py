@@ -213,8 +213,12 @@ class SkewedTagStore:
         #: so the per-access update is a single divide.
         self._valid_count: List[int] = [0] * (self._skews * self._sets)
         # Priority-0 pool with O(1) random removal: list + position map.
+        # The position map is a dense list indexed by tag slot (slots are
+        # small contiguous ints), so add/remove are plain list stores
+        # instead of dict hashing.  Entries of removed slots go stale
+        # rather than being deleted; membership is tracked by ``_state``.
         self._p0_pool: List[int] = []
-        self._p0_pos: dict = {}
+        self._p0_pos: List[int] = [-1] * total
         self.priority1_count = 0
         #: packed (line_addr, sdid) key -> tag index, for O(1) lookups.
         #: The hardware does a 2-set associative probe; this map is a
@@ -246,7 +250,7 @@ class SkewedTagStore:
         self._p0_pool.append(tag_idx)
 
     def _p0_remove(self, tag_idx: int) -> None:
-        pos = self._p0_pos.pop(tag_idx)
+        pos = self._p0_pos[tag_idx]
         last = self._p0_pool.pop()
         if last != tag_idx:
             self._p0_pool[pos] = last
@@ -457,6 +461,33 @@ class SkewedTagStore:
 
     # -- introspection / invariants ------------------------------------------
 
+    def columns_numpy(self):
+        """The tag columns as numpy arrays keyed by name.
+
+        ``state`` / ``dirty`` / ``reused`` are zero-copy ``uint8``
+        views over the live bytearrays (they track subsequent mutations;
+        treat them as read-only).  ``addr`` / ``sdid`` / ``core`` /
+        ``fptr`` are ``int64``/``uint64`` *snapshots* of the plain-list
+        columns (lists keep the scalar hot path free of box/unbox, so a
+        view is impossible).  This is the export half of the vector
+        engine's column mirror: the batch probe kernels
+        (:func:`repro.engine.kernels.tag_compare`,
+        :func:`repro.engine.kernels.victim_select`) and the kernel
+        microbenchmark consume these, cross-checked against the scalar
+        probe.
+        """
+        import numpy as np
+
+        return {
+            "state": np.frombuffer(self._state, dtype=np.uint8),
+            "dirty": np.frombuffer(self._dirty, dtype=np.uint8),
+            "reused": np.frombuffer(self._reused, dtype=np.uint8),
+            "addr": np.array(self._addr, dtype=np.uint64),
+            "sdid": np.array(self._sdid, dtype=np.int64),
+            "core": np.array(self._core, dtype=np.int64),
+            "fptr": np.array(self._fptr, dtype=np.int64),
+        }
+
     def set_valid_count(self, skew: int, set_idx: int) -> int:
         return self._valid_count[skew * self._sets + set_idx]
 
@@ -487,7 +518,8 @@ class SkewedTagStore:
                 p0 += 1
                 if fptr[idx] != NO_DATA:
                     raise SimulationError("priority-0 entry with a forward pointer")
-                if idx not in self._p0_pos:
+                pos = self._p0_pos[idx]
+                if pos < 0 or pos >= len(self._p0_pool) or self._p0_pool[pos] != idx:
                     raise SimulationError("priority-0 entry missing from the pool")
             else:
                 p1 += 1

@@ -332,6 +332,78 @@ def _fused_many(blocks, ks) -> "array":
     return out
 
 
+# -- numpy batch kernel ----------------------------------------------------
+#
+# The fused tables vectorize directly: one round is 8 uint64 gathers +
+# 8 XORs over the whole batch, so a 12-round encryption of N blocks is
+# ~96 array ops regardless of N.  The arithmetic is identical to
+# :func:`_fused_many` (integer table lookups and XORs - no rounding
+# anywhere), so the two paths are bit-exact by construction; the batch
+# threshold only decides which is faster.
+
+#: Below this many blocks the per-call numpy overhead (dtype checks,
+#: temporary allocation) beats the gather savings; measured crossover
+#: is ~100-200 blocks, 256 leaves margin.
+NUMPY_BATCH_THRESHOLD = 256
+
+_NP_TABLES = None
+
+
+def _numpy_tables():
+    """The four fused table banks as ``(8, 256)`` uint64 ndarrays."""
+    global _NP_TABLES
+    if _NP_TABLES is None:
+        import numpy as np
+
+        _NP_TABLES = tuple(
+            np.array(bank, dtype=np.uint64)
+            for bank in (_T_FWD, _T_MID, _T_INV, _T_SINV)
+        )
+    return _NP_TABLES
+
+
+def _fused_many_numpy(blocks, ks) -> "array":
+    """Batch fused kernel on numpy: bit-exact with :func:`_fused_many`."""
+    import numpy as np
+
+    F, M, I, S = _numpy_tables()
+    if isinstance(blocks, np.ndarray):
+        x = blocks.astype(np.uint64, copy=True)
+    elif isinstance(blocks, array) and blocks.typecode == "Q":
+        # array('Q') exposes the buffer protocol: read without boxing.
+        x = np.frombuffer(blocks, dtype=np.uint64).copy()
+    else:
+        x = np.array(blocks, dtype=np.uint64)
+    keys = np.array(ks, dtype=np.uint64)
+    mask = np.uint64(255)
+    shifts = tuple(np.uint64(8 * pos) for pos in range(1, 8))
+
+    def table_pass(T, x):
+        r = T[0][x & mask]
+        for pos, sh in enumerate(shifts, start=1):
+            r ^= T[pos][(x >> sh) & mask]
+        return r
+
+    x ^= keys[0]
+    for i in range(1, 6):
+        x = table_pass(F, x) ^ keys[i]
+    x = table_pass(M, x)
+    for i in range(6, 11):
+        x = table_pass(I, x) ^ keys[i]
+    x = table_pass(S, x) ^ keys[11]
+    return array("Q", x.tobytes())
+
+
+def _fused_many_auto(blocks, ks) -> "array":
+    """Dispatch between the numpy and pure-Python batch kernels."""
+    if len(blocks) >= NUMPY_BATCH_THRESHOLD:
+        try:
+            return _fused_many_numpy(blocks, ks)
+        except ImportError:  # pragma: no cover - numpy is a hard dependency
+            pass
+    return _fused_many(blocks, ks)
+
+
 def _core(state: int, k1: int) -> int:
     """The 12-round PRINCE_core keyed by ``k1`` (fused kernel)."""
     return _fused_block(state, _fuse_schedule(tuple(rc ^ k1 for rc in ROUND_CONSTANTS)))
@@ -389,13 +461,16 @@ class Prince:
 
         Accepts any iterable with ``len()`` whose elements are already
         64-bit (``array('Q')`` is the intended input — no masking is
-        applied on the hot path).
+        applied on the hot path).  Batches of
+        :data:`NUMPY_BATCH_THRESHOLD` blocks or more go through the
+        numpy gather kernel (bit-exact, same tables); smaller batches
+        use the pure-Python loop.
         """
-        return _fused_many(blocks, self._enc_fused)
+        return _fused_many_auto(blocks, self._enc_fused)
 
     def decrypt_many(self, blocks: Iterable[int]) -> array:
         """Decrypt a batch of 64-bit blocks; returns ``array('Q')``."""
-        return _fused_many(blocks, self._dec_fused)
+        return _fused_many_auto(blocks, self._dec_fused)
 
 
 def encrypt(plaintext: int, key: int) -> int:

@@ -24,7 +24,10 @@ randomized designs' LRU mapping cache (exported as the
 ``REPRO_MEMO_CAPACITY`` environment variable so worker processes and
 nested tooling inherit it).  ``--no-trace-cache`` disables the on-disk
 compiled-trace cache (``REPRO_TRACE_CACHE=0``), forcing every stream
-to be recompiled in-process.  A failing experiment no longer
+to be recompiled in-process.  ``--engine vector`` selects the numpy
+column-replay engine for trace-driven runs (exported as
+``REPRO_ENGINE``); results are bit-identical to the default scalar
+loop.  A failing experiment no longer
 aborts the sweep: the remaining experiments still run and the exit
 status is 1.
 """
@@ -39,6 +42,7 @@ import os
 from typing import Callable, Dict, List, Optional, Tuple
 
 from . import runner
+from ..engine import ENGINE_ENV, ENGINES
 from ..trace.compiled import TRACE_CACHE_ENV
 from .presets import MEMO_CAPACITY_ENV
 
@@ -198,10 +202,19 @@ def campaign_main(argv: List[str]) -> int:
         help="scorecard output path (default results/SCORECARD.json)",
     )
     parser.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="replay engine for the campaign's trace-driven cells "
+        "(exported as %s so --jobs workers inherit it; the scorecard "
+        "is byte-identical either way)" % ENGINE_ENV,
+    )
+    parser.add_argument(
         "--json", metavar="PATH", default=None,
         help="write the runner summary (timings, report text) to PATH",
     )
     args = parser.parse_args(argv)
+
+    if args.engine:
+        os.environ[ENGINE_ENV] = args.engine
 
     designs = args.designs.split(",") if args.designs else None
     attacks = args.attacks.split(",") if args.attacks else None
@@ -270,10 +283,19 @@ def main(argv=None) -> int:
         "%s=0 so --jobs workers inherit it; streams are recompiled "
         "in-process instead of loaded from results/.trace_cache)" % TRACE_CACHE_ENV,
     )
+    parser.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="replay engine for trace-driven runs: 'scalar' (default) "
+        "or 'vector' (numpy column replay; bit-identical results, "
+        "exported as %s so --jobs workers inherit it)" % ENGINE_ENV,
+    )
     args = parser.parse_args(argv)
 
     if args.no_trace_cache:
         os.environ[TRACE_CACHE_ENV] = "0"
+
+    if args.engine:
+        os.environ[ENGINE_ENV] = args.engine
 
     if args.memo_capacity is not None:
         if args.memo_capacity <= 0:

@@ -249,10 +249,20 @@ def summary_dict(
     extra: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
     """The ``--json`` payload: per-task timing plus sweep metadata."""
+    from ..engine import resolve_engine
+
+    try:
+        import numpy
+
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
     payload: Dict[str, object] = {
         "schema": "repro.harness.runner/1",
         "jobs": jobs,
         "wall_seconds": wall_seconds,
+        "engine": resolve_engine(None),
+        "numpy": numpy_version,
         "task_seconds": sum(r.seconds for r in results),
         "ok": all(r.ok for r in results),
         "results": [

@@ -30,6 +30,7 @@ from typing import List, Optional, Sequence
 
 from ..common.config import SystemConfig
 from ..common.rng import derive_seed
+from ..engine import resolve_engine
 from ..llc.interface import LLCache
 from ..trace.compiled import compile_workload
 from ..trace.mixes import Mix
@@ -65,6 +66,14 @@ class MixResult:
     #: Randomizer mapping-cache hit rate over the measured window
     #: (0.0 for designs without a randomizer/mapping cache).
     llc_randomizer_hit_rate: float = 0.0
+    #: The replay engine that actually drove the run (``"scalar"`` or
+    #: ``"vector"``); a requested-but-gated vector run reports
+    #: ``"scalar"`` here with the reason in :attr:`engine_info`.
+    engine: str = "scalar"
+    #: Engine provenance: for vector runs, numpy version plus
+    #: ``segments``/``fallback_ops`` hazard counts; for scalar
+    #: fallbacks of a vector request, the ``fallback_reason``.
+    engine_info: Optional[dict] = None
 
     @property
     def total_instructions(self) -> int:
@@ -179,6 +188,7 @@ def run_mix(
     prewarm_mappings: bool = False,
     pretranslate: Optional[bool] = None,
     translate_jobs: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> MixResult:
     """Simulate ``mix`` over ``llc``; returns per-core IPCs + LLC stats.
 
@@ -224,7 +234,18 @@ def run_mix(
     to the live randomizer.  ``translate_jobs`` caps the translation
     process pool (``1`` forces serial).  ``trace_cache=False`` also
     bypasses the translated-index cache.
+
+    ``engine`` selects the replay backend: ``"scalar"`` (default) or
+    ``"vector"`` (the numpy column-replay engine,
+    :mod:`repro.engine.vector`); ``None`` honours ``REPRO_ENGINE``.
+    Both engines produce bit-identical results; when the vector
+    engine's preconditions fail (non-Maya design, numpy missing,
+    bandwidth model on, ...) the run transparently drops to scalar and
+    ``MixResult.engine_info["fallback_reason"]`` says why.
     """
+    requested_engine = resolve_engine(engine)
+    engine_used = "scalar"
+    engine_info: Optional[dict] = None
     config = config or SystemConfig(cores=mix.cores)
     if config.cores < mix.cores:
         raise ValueError(f"mix {mix.name} needs {mix.cores} cores, config has {config.cores}")
@@ -297,6 +318,23 @@ def run_mix(
                 base_cpi, per_core, model_bandwidth,
             )
 
+        if requested_engine == "vector":
+            # Imported lazily: the vector engine (and numpy) only load
+            # when actually requested.
+            from ..engine.vector import create_vector_replay
+
+            replay, reason = create_vector_replay(
+                llc, hierarchy, config, mix, traces, seed, region,
+                clocks, instructions, model_bandwidth, enable_prefetch,
+                trace_cache,
+            )
+            if replay is None:
+                engine_info = {"requested": "vector", "fallback_reason": reason}
+            else:
+                engine_used = "vector"
+                engine_info = replay.info
+                phase = replay.phase
+
     else:
         streams: List[tuple] = []
         for core_id, bench in enumerate(mix.assignments):
@@ -309,6 +347,12 @@ def run_mix(
                 hierarchy_access, streams, clocks, instructions,
                 base_cpi, per_core, model_bandwidth,
             )
+
+        if requested_engine == "vector":
+            engine_info = {
+                "requested": "vector",
+                "fallback_reason": "generator path (compiled=False) has no column replay",
+            }
 
     # Warm-up: run every core for `warmup_accesses`, time-ordered.
     if warmup_accesses > 0:
@@ -324,6 +368,11 @@ def run_mix(
     refresh_mapping_cache = getattr(llc, "refresh_mapping_cache_stats", None)
     if refresh_mapping_cache is not None:
         refresh_mapping_cache()
+    # The hierarchy is done; break its compiled-access reference cycle
+    # so this trial's working set (mapping memos, trace columns, tag
+    # state) frees by refcount when the caller drops `llc` instead of
+    # piling up for the cyclic GC across a bench trial loop.
+    hierarchy.release()
     stats = llc.stats
     total_instructions = sum(instructions)
     core_results = [
@@ -341,6 +390,8 @@ def run_mix(
         llc_saes=stats.saes,
         llc_tag_only_hits=stats.tag_only_hits,
         llc_randomizer_hit_rate=stats.randomizer_hit_rate,
+        engine=engine_used,
+        engine_info=engine_info,
     )
 
 

@@ -156,6 +156,24 @@ class CompiledTrace:
             return array("Q", {addr + offset for addr in self.line_addrs})
         return array("Q", set(self.line_addrs))
 
+    def columns_numpy(self):
+        """The three columns as zero-copy numpy views.
+
+        Returns ``(line_addrs, write_flags, gaps)`` as ``uint64`` /
+        ``uint8`` / ``uint32`` ndarrays sharing memory with the packed
+        columns (``np.frombuffer`` over the buffer protocol — no copy).
+        Treat them as read-only: writes would corrupt the trace.  The
+        vector replay engine (:mod:`repro.engine.vector`) consumes
+        these directly.
+        """
+        import numpy as np
+
+        return (
+            np.frombuffer(self.line_addrs, dtype=np.uint64),
+            np.frombuffer(self.write_flags, dtype=np.uint8),
+            np.frombuffer(self.gaps, dtype=np.uint32),
+        )
+
     # -- serialization -----------------------------------------------------
 
     def to_bytes(self, key: str) -> bytes:

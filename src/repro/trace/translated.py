@@ -107,6 +107,24 @@ class TranslatedTrace:
             and self.columns == other.columns
         )
 
+    def columns_numpy(self):
+        """``(line_addrs, per_skew_indices)`` as zero-copy numpy views.
+
+        ``line_addrs`` comes back as a ``uint64`` ndarray and each skew
+        column as a ``uint32`` ndarray, all sharing memory with the
+        packed ``array`` columns.  Treat them as read-only: writes
+        would corrupt the cached translation.  Callers (the vector
+        engine's precompute pass, the batch-kernel microbenchmarks)
+        use these to seed the randomizer side table without a
+        per-element unbox loop.
+        """
+        import numpy as np
+
+        return (
+            np.frombuffer(self.line_addrs, dtype=np.uint64),
+            tuple(np.frombuffer(col, dtype=np.uint32) for col in self.columns),
+        )
+
     # -- serialization -----------------------------------------------------
 
     def to_bytes(self, key: str) -> bytes:

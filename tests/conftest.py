@@ -5,25 +5,31 @@ import os
 import pytest
 
 from repro.common.config import CacheGeometry, MayaConfig, MirageConfig, SystemConfig
+from repro.engine.opstream import OPSTREAM_CACHE_ENV
 from repro.trace.compiled import TRACE_CACHE_ENV
 
 
 @pytest.fixture(autouse=True, scope="session")
 def _isolated_trace_cache(tmp_path_factory):
-    """Point the on-disk trace cache at a temp dir for the whole run.
+    """Point the on-disk trace/opstream caches at temp dirs for the run.
 
     Keeps test runs from writing into the repository's
-    ``results/.trace_cache/`` (and from *reading* stale traces out of
-    it).  Individual tests that need a private directory or a disabled
-    cache override the variable with ``monkeypatch.setenv``.
+    ``results/.trace_cache/`` and ``results/.opstream_cache/`` (and
+    from *reading* stale entries out of them).  Individual tests that
+    need a private directory or a disabled cache override the variable
+    with ``monkeypatch.setenv``.
     """
-    original = os.environ.get(TRACE_CACHE_ENV)
+    originals = {
+        env: os.environ.get(env) for env in (TRACE_CACHE_ENV, OPSTREAM_CACHE_ENV)
+    }
     os.environ[TRACE_CACHE_ENV] = str(tmp_path_factory.mktemp("trace_cache"))
+    os.environ[OPSTREAM_CACHE_ENV] = str(tmp_path_factory.mktemp("opstream_cache"))
     yield
-    if original is None:
-        os.environ.pop(TRACE_CACHE_ENV, None)
-    else:
-        os.environ[TRACE_CACHE_ENV] = original
+    for env, original in originals.items():
+        if original is None:
+            os.environ.pop(env, None)
+        else:
+            os.environ[env] = original
 
 
 @pytest.fixture

@@ -219,3 +219,167 @@ class TestPretranslate:
         r_on = run_mix(llc_on, homogeneous("mcf", 2), system, **kwargs)
         assert llc_on.index_randomizer.cache_info().precomputed > 0
         assert_bit_identical((llc_off, r_off), (llc_on, r_on))
+
+
+def run_engine_pair(make_llc, mix, system, **kwargs):
+    """Run the scalar oracle and the vector engine on fresh LLCs."""
+    llc_s, llc_v = make_llc(), make_llc()
+    r_s = run_mix(llc_s, mix, system, engine="scalar",
+                  trace_cache=False, **kwargs)
+    r_v = run_mix(llc_v, mix, system, engine="vector",
+                  trace_cache=False, **kwargs)
+    return (llc_s, r_s), (llc_v, r_v)
+
+
+@pytest.mark.vector
+class TestVectorEngine:
+    """Vector column replay vs the scalar oracle, hazards included.
+
+    Each test drives both engines over the same mix and asserts
+    bit-identical raw counters; the hazard tests additionally assert
+    that the hazard actually fired *and* that the vector engine
+    reported epoch segments (i.e. the scalar-fallback windows ran).
+    """
+
+    def _assert_vector_ran(self, r_v):
+        assert r_v.engine == "vector", r_v.engine_info
+        assert r_v.engine_info["engine"] == "vector"
+
+    def test_full_protocol_bit_identical(self, system):
+        a, b = run_engine_pair(
+            lambda: MayaCache(MayaConfig(**MAYA)),
+            homogeneous("mcf", 2), system,
+            accesses_per_core=800, warmup_accesses=400, seed=11,
+        )
+        self._assert_vector_ran(b[1])
+        assert b[1].engine_info["segments"] == 0  # hazard-free run
+        assert_bit_identical(a, b)
+
+    def test_write_heavy_stream(self, system):
+        a, b = run_engine_pair(
+            lambda: MayaCache(MayaConfig(**MAYA)),
+            homogeneous("lbm", 2), system,
+            accesses_per_core=800, warmup_accesses=200, seed=5,
+        )
+        self._assert_vector_ran(b[1])
+        assert a[0].stats.writebacks_received > 0
+        assert_bit_identical(a, b)
+
+    def test_heterogeneous_mix(self, system):
+        from repro.trace.mixes import Mix
+
+        a, b = run_engine_pair(
+            lambda: MayaCache(MayaConfig(**MAYA)),
+            Mix("mcf-lbm", ("mcf", "lbm"), "RATE"), system,
+            accesses_per_core=700, warmup_accesses=300, seed=17,
+        )
+        self._assert_vector_ran(b[1])
+        assert_bit_identical(a, b)
+
+    def test_prince_hash(self, system):
+        a, b = run_engine_pair(
+            lambda: MayaCache(MayaConfig(sets_per_skew=16, rng_seed=7,
+                                         hash_algorithm="prince")),
+            homogeneous("mcf", 2), system,
+            accesses_per_core=500, warmup_accesses=200, seed=11,
+        )
+        self._assert_vector_ran(b[1])
+        assert_bit_identical(a, b)
+
+    # -- hazards landing mid-batch ------------------------------------
+
+    SAE_CFG = dict(
+        sets_per_skew=4, base_ways_per_skew=2, reuse_ways_per_skew=1,
+        invalid_ways_per_skew=0, rng_seed=5,
+    )
+
+    def test_sae_storm_mid_batch_count_policy(self, system):
+        a, b = run_engine_pair(
+            lambda: MayaCache(MayaConfig(hash_algorithm="splitmix",
+                                         **self.SAE_CFG)),
+            homogeneous("mcf", 2), system,
+            accesses_per_core=1200, warmup_accesses=300, seed=13,
+        )
+        self._assert_vector_ran(b[1])
+        assert b[0].stats.saes > 0
+        assert b[1].engine_info["segments"] > 0
+        assert b[1].engine_info["fallback_ops"] > 0
+        assert_bit_identical(a, b)
+
+    def test_sae_rekey_mid_batch(self, system):
+        # on_sae="rekey": the mapping keys change and the memo/side
+        # tables are invalidated mid-replay; the vector engine must
+        # drop to the scalar window and resume with the new keys.
+        a, b = run_engine_pair(
+            lambda: MayaCache(MayaConfig(hash_algorithm="splitmix",
+                                         **self.SAE_CFG), on_sae="rekey"),
+            homogeneous("mcf", 2), system,
+            accesses_per_core=1200, warmup_accesses=300, seed=13,
+        )
+        self._assert_vector_ran(b[1])
+        assert b[0].stats.saes > 0
+        assert b[0].tags.randomizer.epoch > 1  # rekeys actually happened
+        assert b[1].engine_info["segments"] > 0
+        assert_bit_identical(a, b)
+
+    def test_sae_rekey_prince_mid_batch(self, system):
+        # Same, under the real cipher: rekey drops the precomputed
+        # tables and later installs hit the live PRINCE path.
+        a, b = run_engine_pair(
+            lambda: MayaCache(MayaConfig(hash_algorithm="prince",
+                                         **self.SAE_CFG), on_sae="rekey"),
+            homogeneous("mcf", 2), system,
+            accesses_per_core=1000, warmup_accesses=200, seed=13,
+        )
+        self._assert_vector_ran(b[1])
+        assert b[0].stats.saes > 0
+        assert b[0].tags.randomizer.epoch > 1
+        assert_bit_identical(a, b)
+
+    def test_memo_capacity_eviction_mid_batch(self, system):
+        # A 64-entry memo overflows constantly; every overflow is a
+        # side-table invalidation hazard and opens a scalar window.
+        a, b = run_engine_pair(
+            lambda: MayaCache(MayaConfig(memo_capacity=64, **MAYA)),
+            homogeneous("mcf", 2), system,
+            accesses_per_core=800, warmup_accesses=200, seed=11,
+        )
+        self._assert_vector_ran(b[1])
+        assert b[1].engine_info["segments"] > 0
+        assert_bit_identical(a, b)
+
+    # -- gating -------------------------------------------------------
+
+    def test_unsupported_design_falls_back_to_scalar(self, system):
+        llc = BaselineLLC(system.llc_geometry)
+        r = run_mix(llc, homogeneous("mcf", 2), system, engine="vector",
+                    accesses_per_core=300, warmup_accesses=0, seed=3,
+                    trace_cache=False)
+        assert r.engine == "scalar"
+        assert "fallback_reason" in r.engine_info
+
+    def test_ablation_config_falls_back_to_scalar(self, system):
+        llc = MayaCache(MayaConfig(**MAYA), global_tag_eviction=False)
+        r = run_mix(llc, homogeneous("mcf", 2), system, engine="vector",
+                    accesses_per_core=300, warmup_accesses=0, seed=3,
+                    trace_cache=False)
+        assert r.engine == "scalar"
+        assert "tag eviction" in r.engine_info["fallback_reason"]
+
+    def test_generator_path_falls_back_to_scalar(self, system):
+        llc = MayaCache(MayaConfig(**MAYA))
+        r = run_mix(llc, homogeneous("mcf", 2), system, engine="vector",
+                    compiled=False, accesses_per_core=300,
+                    warmup_accesses=0, seed=3)
+        assert r.engine == "scalar"
+        assert "generator" in r.engine_info["fallback_reason"]
+
+    def test_env_var_selects_engine(self, system, monkeypatch):
+        from repro.engine import ENGINE_ENV
+
+        monkeypatch.setenv(ENGINE_ENV, "vector")
+        llc = MayaCache(MayaConfig(**MAYA))
+        r = run_mix(llc, homogeneous("mcf", 2), system,
+                    accesses_per_core=300, warmup_accesses=0, seed=3,
+                    trace_cache=False)
+        assert r.engine == "vector"

@@ -7,15 +7,24 @@ fingerprint.  Fresh caches per trial make every trial's statistics
 bit-identical; the throughput spread is pure machine noise, so the
 best-of-N figure is the one to compare across commits.
 
+The ``maya_vector`` design row is the same Maya configuration driven
+through the numpy column-replay engine (``repro.engine.vector``); its
+MPKI fingerprint must match the scalar ``maya`` row bit-for-bit, which
+``run_protocol`` enforces before reporting.  ``--engine vector``
+switches every *other* trace-driven row onto the vector engine too
+(designs it cannot drive fall back to scalar and say so in the JSON).
+
 Usage::
 
     python tools/bench.py                       # full protocol, print table
     python tools/bench.py --quick               # CI-sized protocol
-    python tools/bench.py --both --out BENCH_5.json   # regenerate the
+    python tools/bench.py --both --out BENCH_7.json   # regenerate the
                                                       # checked-in baseline
+    python tools/bench.py kernels               # batch/cipher kernel
+                                                # microbenchmarks only
     python tools/bench.py --quick --verify      # + reference-engine
                                                 # equivalence check
-    python tools/bench.py --quick --baseline BENCH_5.json --check-regression 25
+    python tools/bench.py --quick --baseline BENCH_7.json --check-regression 25
     python tools/bench.py --no-trace-cache      # recompile traces every trial
                                                 # (also disables the
                                                 # translated-index cache)
@@ -45,6 +54,7 @@ import time
 from array import array
 
 from repro.core.maya_cache import MayaCache
+from repro.engine import ENGINES
 from repro.harness.presets import experiment_maya, experiment_mirage, experiment_system
 from repro.hierarchy.simulator import run_mix
 from repro.llc.baseline import BaselineLLC
@@ -73,7 +83,7 @@ PRE_FUSED_PRINCE_ANCHOR = {"maya_prince": 6228.5}
 
 def _make_llc(design: str, params: dict):
     sets, seed = params["llc_sets"], params["seed"]
-    if design == "maya":
+    if design in ("maya", "maya_vector"):
         return MayaCache(experiment_maya(llc_sets=sets, seed=seed))
     if design == "maya_prince":
         # The paper's actual cipher (security-mode runs); the presets
@@ -128,13 +138,104 @@ def bench_cipher_kernels(blocks: int = 20000, seed: int = 123) -> dict:
     }
 
 
+def bench_batch_kernels(probes: int = 20000, seed: int = 123) -> dict:
+    """Microbenchmark the numpy column kernels vs their scalar mirrors.
+
+    Warms a full-size Maya tag store, exports its columns, and times
+    ``repro.engine.kernels`` - translate (splitmix index derivation),
+    tag-compare, and victim-select - against the equivalent scalar
+    loops over the same live state.  As with the cipher bench, every
+    kernel output is cross-checked element-wise against the scalar
+    oracle first; a wrong kernel can never post a fast number.
+    """
+    if not _have_numpy():
+        return {"skipped": "numpy unavailable"}
+    from repro.engine import kernels
+
+    rng = random.Random(seed)
+    llc = MayaCache(experiment_maya(llc_sets=512, seed=7))
+    for _ in range(probes):
+        llc.access_fast(rng.getrandbits(30), rng.random() < 0.25,
+                        rng.randrange(8), rng.random() < 0.1, 0)
+    tags = llc.tags
+    rand = tags.randomizer
+    cols = tags.columns_numpy()
+    ways = tags._ways
+    addrs = [rng.getrandbits(30) for _ in range(probes)]
+    scalar_n = max(1, probes // 10)
+
+    # Translate: batch splitmix64 index derivation vs the randomizer's
+    # per-address path.
+    t0 = time.perf_counter()
+    idx_cols = kernels.splitmix_indices(addrs, rand._mix_keys, rand.index_bits)
+    translate_secs = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    scalar_idx = [rand._raw_indices(a, 0) for a in addrs[:scalar_n]]
+    translate_scalar_secs = time.perf_counter() - t0
+    for i in range(scalar_n):
+        if tuple(int(c[i]) for c in idx_cols) != scalar_idx[i]:
+            raise AssertionError("translate kernels disagree - refusing to report timings")
+
+    # Tag compare: batch probe of skew 0 vs a scalar way scan over the
+    # same (state, addr, sdid) columns.
+    bases = [int(idx_cols[0][i]) * ways for i in range(probes)]
+    t0 = time.perf_counter()
+    slots = kernels.tag_compare(cols["addr"], cols["sdid"], cols["state"],
+                                bases, ways, addrs, [0] * probes)
+    tag_secs = time.perf_counter() - t0
+    state_col, addr_col, sdid_col = tags._state, tags._addr, tags._sdid
+    t0 = time.perf_counter()
+    scalar_slots = []
+    for i in range(scalar_n):
+        base, addr, found = bases[i], addrs[i], -1
+        for s in range(base, base + ways):
+            if state_col[s] and addr_col[s] == addr and sdid_col[s] == 0:
+                found = s
+                break
+        scalar_slots.append(found)
+    tag_scalar_secs = time.perf_counter() - t0
+    if [int(s) for s in slots[:scalar_n]] != scalar_slots:
+        raise AssertionError("tag-compare kernels disagree - refusing to report timings")
+
+    # Victim select: first-invalid-way over every set vs bytearray.find.
+    sets_total = tags._skews * tags._sets
+    vbases = [b * ways for b in range(sets_total)]
+    t0 = time.perf_counter()
+    victims = kernels.victim_select(cols["state"], vbases, ways)
+    victim_secs = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    scalar_victims = [state_col.find(0, b, b + ways) for b in vbases]
+    victim_scalar_secs = time.perf_counter() - t0
+    if [int(v) for v in victims] != scalar_victims:
+        raise AssertionError("victim-select kernels disagree - refusing to report timings")
+
+    return {
+        "probes": probes,
+        "translate": {
+            "blocks_per_sec": round(probes / translate_secs, 1),
+            "scalar_blocks_per_sec": round(scalar_n / translate_scalar_secs, 1),
+        },
+        "tag_compare": {
+            "blocks_per_sec": round(probes / tag_secs, 1),
+            "scalar_blocks_per_sec": round(scalar_n / tag_scalar_secs, 1),
+        },
+        "victim_select": {
+            "blocks_per_sec": round(sets_total / victim_secs, 1),
+            "scalar_blocks_per_sec": round(sets_total / victim_scalar_secs, 1),
+        },
+    }
+
+
 def bench_design(design: str, params: dict, make_llc=_make_llc) -> dict:
     """Run ``trials`` fresh simulations; return throughput + fingerprint."""
     mix = homogeneous(params["bench"], params["cores"])
     system = experiment_system(cores=params["cores"], llc_sets=params["llc_sets"])
     total_accesses = (params["accesses_per_core"] + params["warmup_per_core"]) * params["cores"]
+    # ``*_vector`` design rows pin the numpy engine; everything else
+    # follows the protocol-level selection (``--engine`` / REPRO_ENGINE).
+    engine = "vector" if design.endswith("_vector") else params.get("engine")
     seconds, mpki, hit_rate, trace_trials = [], None, 0.0, []
-    translated_trials = []
+    translated_trials, engine_trials = [], []
     for _ in range(params["trials"]):
         llc = make_llc(design, params)
         before = trace_cache_info()
@@ -145,8 +246,13 @@ def bench_design(design: str, params: dict, make_llc=_make_llc) -> dict:
             accesses_per_core=params["accesses_per_core"],
             warmup_accesses=params["warmup_per_core"],
             seed=params["seed"],
+            engine=engine,
         )
         seconds.append(time.perf_counter() - t0)
+        # Per-trial engine provenance: which engine actually executed,
+        # plus (vector) epoch-segment and fallback-window counters so a
+        # hazard-heavy run can't masquerade as pure-vector throughput.
+        engine_trials.append({"engine": result.engine, **(result.engine_info or {})})
         after = trace_cache_info()
         tix_after = translated_cache_info()
         # Per-trial trace-cache activity: the first trial compiles (or
@@ -184,21 +290,51 @@ def bench_design(design: str, params: dict, make_llc=_make_llc) -> dict:
         "llc_mpki": mpki,
         "randomizer_hit_rate": hit_rate,
         "trial_seconds": [round(s, 3) for s in seconds],
+        "engine": engine_trials[-1]["engine"] if engine_trials else "scalar",
+        "engine_trials": engine_trials,
         "trace_cache_trials": trace_trials,
         "translated_cache_trials": translated_trials,
     }
 
 
-def run_protocol(params: dict, designs=("maya", "maya_prince", "mirage", "baseline")) -> dict:
+def _have_numpy() -> bool:
+    try:
+        import numpy  # noqa: F401
+        return True
+    except ImportError:
+        return False
+
+
+DEFAULT_DESIGNS = ("maya", "maya_vector", "maya_prince", "mirage", "baseline")
+
+
+def run_protocol(params: dict, designs=DEFAULT_DESIGNS) -> dict:
     results = {}
     for design in designs:
+        if design.endswith("_vector") and not _have_numpy():
+            print(f"  {design:11s} skipped (numpy unavailable)")
+            continue
         results[design] = bench_design(design, params)
         r = results[design]
+        if design.endswith("_vector"):
+            for t in r["engine_trials"]:
+                if t.get("engine") != "vector":
+                    raise AssertionError(
+                        f"{design}: vector engine fell back to scalar "
+                        f"({t.get('fallback_reason', 'no reason recorded')})"
+                    )
         print(
             f"  {design:11s} {r['accesses_per_sec_best']:>10.1f} acc/s best "
             f"({r['accesses_per_sec_median']:>9.1f} median over "
             f"{params['trials']} trials)  mpki={r['llc_mpki']:.6f}"
         )
+    if "maya" in results and "maya_vector" in results:
+        if results["maya_vector"]["llc_mpki"] != results["maya"]["llc_mpki"]:
+            raise AssertionError(
+                f"maya_vector mpki {results['maya_vector']['llc_mpki']} != "
+                f"scalar maya {results['maya']['llc_mpki']} - the engines diverged"
+            )
+        print("  engine cross-check OK (maya_vector mpki == maya mpki)")
     return results
 
 
@@ -258,7 +394,7 @@ def check_regression(measured: dict, baseline_path: str, protocol: str, pct: flo
             )
             failures += 1
     floors = []
-    for design in ("maya", "maya_prince"):
+    for design in ("maya", "maya_vector", "maya_prince"):
         if design not in measured or design not in base["results"]:
             continue
         floor = base["results"][design]["accesses_per_sec_best"] * (1 - pct / 100.0)
@@ -279,6 +415,9 @@ def check_regression(measured: dict, baseline_path: str, protocol: str, pct: flo
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("command", nargs="?", choices=("bench", "kernels"), default="bench",
+                        help="'kernels' runs only the cipher/batch kernel "
+                             "microbenchmarks (no protocol simulation)")
     parser.add_argument("--quick", action="store_true", help="CI-sized protocol")
     parser.add_argument("--both", action="store_true",
                         help="run full AND quick protocols (for regenerating the baseline)")
@@ -293,6 +432,10 @@ def main(argv=None) -> int:
     parser.add_argument("--no-trace-cache", action="store_true",
                         help="disable the on-disk compiled-trace cache "
                              f"(sets {TRACE_CACHE_ENV}=0; every trial recompiles)")
+    parser.add_argument("--engine", choices=ENGINES, default=None,
+                        help="replay engine for the non-*_vector design rows "
+                             "(default: scalar; the maya_vector row always "
+                             "runs the vector engine)")
     args = parser.parse_args(argv)
 
     if args.no_trace_cache:
@@ -302,6 +445,8 @@ def main(argv=None) -> int:
     params = dict(QUICK if args.quick else FULL)
     if args.trials:
         params["trials"] = args.trials
+    if args.engine:
+        params["engine"] = args.engine
 
     print("[cipher kernels] scalar vs fused PRINCE")
     kernels = bench_cipher_kernels()
@@ -311,14 +456,42 @@ def main(argv=None) -> int:
         f"batch {kernels['fused_batch_blocks_per_sec']:>9.1f} blk/s "
         f"({kernels['batch_speedup_vs_scalar']:.1f}x vs scalar)"
     )
+    print("[batch kernels] numpy column kernels vs scalar loops")
+    batch_kernels = bench_batch_kernels()
+    if "skipped" in batch_kernels:
+        print(f"  skipped ({batch_kernels['skipped']})")
+    else:
+        for name in ("translate", "tag_compare", "victim_select"):
+            k = batch_kernels[name]
+            print(
+                f"  {name:13s} {k['blocks_per_sec']:>12.1f} blk/s batch | "
+                f"{k['scalar_blocks_per_sec']:>11.1f} blk/s scalar"
+            )
 
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
     payload = {
-        "bench_id": 5,
+        "bench_id": 7,
+        "numpy": numpy_version,
         "pre_soa_anchor": PRE_SOA_ANCHOR,
         "pre_fused_prince_anchor": PRE_FUSED_PRINCE_ANCHOR,
         "cipher_kernels": kernels,
+        "batch_kernels": batch_kernels,
         "protocols": {},
     }
+
+    if args.command == "kernels":
+        if args.out:
+            del payload["protocols"]
+            with open(args.out, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=False)
+                fh.write("\n")
+            print(f"wrote {args.out}")
+        return 0
+
     print(f"[{protocol}] {params}")
     results = run_protocol(params)
     payload["protocols"][protocol] = {"params": params, "results": results}
@@ -331,6 +504,8 @@ def main(argv=None) -> int:
         other = dict(FULL if args.quick else QUICK)
         if args.trials:
             other["trials"] = args.trials
+        if args.engine:
+            other["engine"] = args.engine
         print(f"[{other_name}] {other}")
         payload["protocols"][other_name] = {"params": other, "results": run_protocol(other)}
 

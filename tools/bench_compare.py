@@ -7,6 +7,14 @@ throughput column is ``accesses_per_sec_best`` - the benchmark's
 fresh-caches-per-trial design makes the best-of-N figure the stable
 one (see tools/bench.py).
 
+The bench trajectory has gaps (e.g. BENCH_3 and BENCH_6 were never
+produced): missing IDs are simply absent columns, and every ratio or
+regression comparison is between consecutive *present* files for that
+design - a design absent from one file (``-`` cell) compares its next
+appearance against its last appearance, never against the gap.  A
+file that cannot be parsed or predates the ``protocols`` payload
+shape is skipped with a warning rather than failing the report.
+
 Exits 1 when any design's best throughput drops more than
 ``--threshold`` percent (default 25) between two *consecutive* bench
 files for the same protocol.  Throughput gets that headroom because
@@ -48,9 +56,21 @@ def find_bench_files(directory: str) -> list:
     return sorted(found)
 
 
-def load_bench(path: str) -> dict:
-    with open(path) as fh:
-        return json.load(fh)
+def load_benches(found: list) -> list:
+    """``[(id, payload), ...]`` - unreadable/old-format files are skipped."""
+    benches = []
+    for bench_id, path in found:
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"skipping {path}: {exc}", file=sys.stderr)
+            continue
+        if not isinstance(payload.get("protocols"), dict):
+            print(f"skipping {path}: no 'protocols' payload", file=sys.stderr)
+            continue
+        benches.append((bench_id, payload))
+    return benches
 
 
 def _designs(benches: list) -> list:
@@ -78,31 +98,38 @@ def trend_table(benches: list, threshold: float) -> tuple:
     """
     lines, regressions = [], []
     ids = [bench_id for bench_id, _ in benches]
+    designs = _designs(benches)
+    width = max(10, *(len(d) for d in designs)) if designs else 10
     for protocol in _protocols(benches):
         lines.append(f"[{protocol}]")
-        header = f"  {'design':<10}" + "".join(f"{f'BENCH_{i}':>16}" for i in ids)
+        header = f"  {'design':<{width}}" + "".join(f"{f'BENCH_{i}':>16}" for i in ids)
         lines.append(header)
-        for design in _designs(benches):
+        for design in designs:
             cells, prev = [], None
-            for _, payload in benches:
+            for bench_id, payload in benches:
                 r = payload.get("protocols", {}).get(protocol, {}).get("results", {}).get(design)
                 if r is None:
-                    cells.append(f"{'-':>16}")
+                    # Gap: the design (or the whole ID) is missing here.
+                    # Leave prev untouched so the next present file still
+                    # compares against the last present one.
+                    cells.append(f"{'-':>14}  ")
                     continue
                 acc = r["accesses_per_sec_best"]
                 mark = " "
                 if prev is not None:
+                    ratio = acc / prev["acc"]
                     if acc < prev["acc"] * (1 - threshold / 100.0):
                         mark = "!"
                         regressions.append(
-                            f"{design}/{protocol}: {acc:.1f} acc/s is more than "
-                            f"{threshold:.0f}% below the previous file's {prev['acc']:.1f}"
+                            f"{design}/{protocol}: BENCH_{bench_id} {acc:.1f} acc/s is "
+                            f"{ratio:.2f}x BENCH_{prev['id']}'s {prev['acc']:.1f} "
+                            f"(more than {threshold:.0f}% below)"
                         )
                     if r["llc_mpki"] != prev["mpki"]:
                         mark = "*" if mark == " " else mark
                 cells.append(f"{acc:>14.1f}{mark} ")
-                prev = {"acc": acc, "mpki": r["llc_mpki"]}
-            lines.append(f"  {design:<10}" + "".join(cells))
+                prev = {"id": bench_id, "acc": acc, "mpki": r["llc_mpki"]}
+            lines.append(f"  {design:<{width}}" + "".join(cells))
         lines.append("")
     lines.append("  (acc/s best; '!' = throughput regression, '*' = MPKI fingerprint changed)")
     return lines, regressions
@@ -115,9 +142,9 @@ def main(argv=None) -> int:
                         help="max tolerated %% drop between consecutive files")
     args = parser.parse_args(argv)
 
-    benches = [(i, load_bench(path)) for i, path in find_bench_files(args.dir)]
+    benches = load_benches(find_bench_files(args.dir))
     if len(benches) < 1:
-        print(f"no BENCH_*.json files under {args.dir!r}", file=sys.stderr)
+        print(f"no usable BENCH_*.json files under {args.dir!r}", file=sys.stderr)
         return 2
 
     lines, regressions = trend_table(benches, args.threshold)
