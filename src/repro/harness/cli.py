@@ -27,9 +27,14 @@ compiled-trace cache (``REPRO_TRACE_CACHE=0``), forcing every stream
 to be recompiled in-process.  ``--engine vector`` selects the numpy
 column-replay engine for trace-driven runs (exported as
 ``REPRO_ENGINE``); results are bit-identical to the default scalar
-loop.  A failing experiment no longer
-aborts the sweep: the remaining experiments still run and the exit
-status is 1.
+loop.  ``--service ADDR`` (or the ``REPRO_SERVICE`` environment
+variable) drains the grid through a resident simulation service
+(``repro serve``) instead of one-shot worker processes - same bytes,
+no per-shard spawn/import/cache-warm cost.  ``--results PATH`` writes
+the canonical timing-free results JSON, which diffs byte-for-byte
+between serial, ``--jobs``, and ``--service`` runs.  A failing
+experiment no longer aborts the sweep: the remaining experiments still
+run and the exit status is 1.
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from . import runner
 from ..engine import ENGINE_ENV, ENGINES
+from ..service import SERVICE_ENV, resolve_address
 from ..trace.compiled import TRACE_CACHE_ENV
 from .presets import MEMO_CAPACITY_ENV
 
@@ -208,6 +214,12 @@ def campaign_main(argv: List[str]) -> int:
         "is byte-identical either way)" % ENGINE_ENV,
     )
     parser.add_argument(
+        "--service", default=None, metavar="ADDR",
+        help="drain the campaign's (design x attack) shards through a "
+        "resident simulation service (default from %s when set); the "
+        "scorecard is byte-identical either way" % SERVICE_ENV,
+    )
+    parser.add_argument(
         "--json", metavar="PATH", default=None,
         help="write the runner summary (timings, report text) to PATH",
     )
@@ -231,9 +243,14 @@ def campaign_main(argv: List[str]) -> int:
         },
     )
     jobs = runner.default_jobs() if args.jobs == 0 else max(1, args.jobs)
-    progress = (lambda line: print(f"[runner] {line}", file=sys.stderr)) if jobs > 1 else None
+    service = resolve_address(args.service)
+    progress = (
+        (lambda line: print(f"[runner] {line}", file=sys.stderr))
+        if (jobs > 1 or service)
+        else None
+    )
     start = time.perf_counter()
-    results = runner.run_tasks([task], jobs=jobs, progress=progress)
+    results = runner.run_tasks([task], jobs=jobs, progress=progress, service=service)
     wall_seconds = time.perf_counter() - start
     result = results[0]
     if args.json:
@@ -289,6 +306,18 @@ def main(argv=None) -> int:
         "or 'vector' (numpy column replay; bit-identical results, "
         "exported as %s so --jobs workers inherit it)" % ENGINE_ENV,
     )
+    parser.add_argument(
+        "--service", default=None, metavar="ADDR",
+        help="drain the grid through a resident simulation service "
+        "(HOST:PORT; default from %s when set).  Results are "
+        "byte-identical to the local runner; --jobs is then the "
+        "service's concern" % SERVICE_ENV,
+    )
+    parser.add_argument(
+        "--results", metavar="PATH", default=None,
+        help="write the canonical timing-free results JSON to PATH "
+        "(byte-diffable between serial, --jobs, and --service runs)",
+    )
     args = parser.parse_args(argv)
 
     if args.no_trace_cache:
@@ -316,10 +345,22 @@ def main(argv=None) -> int:
         return 2
 
     jobs = runner.default_jobs() if args.jobs == 0 else max(1, args.jobs)
+    service = resolve_address(args.service)
     tasks = build_tasks(names, args.fast, base_seed=args.seed)
-    progress = (lambda line: print(f"[runner] {line}", file=sys.stderr)) if jobs > 1 else None
+    progress = (
+        (lambda line: print(f"[runner] {line}", file=sys.stderr))
+        if (jobs > 1 or service)
+        else None
+    )
     start = time.perf_counter()
-    results = runner.run_tasks(tasks, jobs=jobs, progress=progress)
+    try:
+        results = runner.run_tasks(tasks, jobs=jobs, progress=progress, service=service)
+    except Exception as exc:  # noqa: BLE001 - a dead service should not traceback
+        if service:
+            print(f"service error: {exc}", file=sys.stderr)
+            print("is the service running?  start one with: repro serve", file=sys.stderr)
+            return 1
+        raise
     wall_seconds = time.perf_counter() - start
 
     failures = 0
@@ -334,10 +375,18 @@ def main(argv=None) -> int:
         print(f"[{result.seconds:.1f}s]")
 
     if args.json:
-        runner.write_summary(
-            args.json, results, jobs, wall_seconds,
-            extra={"fast": args.fast, "seed": args.seed, "experiments": names},
-        )
+        extra = {"fast": args.fast, "seed": args.seed, "experiments": names}
+        if service:
+            extra["service"] = service
+            try:
+                from ..service.client import ServiceClient
+
+                extra["service_status"] = ServiceClient(service).status()
+            except Exception:  # noqa: BLE001 - accounting is best-effort
+                pass
+        runner.write_summary(args.json, results, jobs, wall_seconds, extra=extra)
+    if args.results:
+        runner.write_results(args.results, results)
     if failures:
         print(f"{failures} experiment(s) failed", file=sys.stderr)
         return 1

@@ -126,10 +126,16 @@ def _execute_unit(unit: Tuple[int, ExperimentTask, Optional[object]]):
         return index, None, time.perf_counter() - start, traceback.format_exc()
 
 
+#: Public aliases: the resident service (repro.service) executes and
+#: plans work through the exact same code paths as the one-shot pool,
+#: which is what makes service results byte-identical by construction.
+execute_unit = _execute_unit
+
+
 # -- orchestration ---------------------------------------------------------
 
 
-def _plan_units(tasks: Sequence[ExperimentTask]):
+def plan_units(tasks: Sequence[ExperimentTask]):
     """Expand tasks into work units; returns (units, per-task shard keys)."""
     units: List[Tuple[int, ExperimentTask, Optional[object]]] = []
     task_keys: List[Optional[List[object]]] = []
@@ -152,6 +158,9 @@ def _plan_units(tasks: Sequence[ExperimentTask]):
     return units, task_keys
 
 
+_plan_units = plan_units
+
+
 def _merge_task(task: ExperimentTask, keys: List[object], parts: List[object]) -> str:
     module = _load(task.module)
     return module.report(module.merge_shards(keys, parts, **task.kwargs))
@@ -161,13 +170,25 @@ def run_tasks(
     tasks: Sequence[ExperimentTask],
     jobs: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    service: Optional[str] = None,
 ) -> List[TaskResult]:
     """Execute ``tasks``; serially for ``jobs <= 1``, else on a pool.
+
+    With ``service`` set to a resident-service address (``HOST:PORT``,
+    see :mod:`repro.service`), the tasks are submitted over HTTP and
+    drained by the service's persistent workers instead; ``jobs`` is
+    then the *service's* concern and ignored here.  Results are
+    byte-identical either way - the service executes the same planned
+    units through :func:`execute_unit` and merges with the same code.
 
     Results come back in task order regardless of completion order, and
     a failure in one task (or one shard) is captured in its
     :class:`TaskResult` instead of aborting the sweep.
     """
+    if service:
+        from ..service.client import ServiceClient
+
+        return ServiceClient(service).run_tasks(tasks, progress=progress)
     notify = progress or (lambda _message: None)
     results = [TaskResult(name=t.name, description=t.description) for t in tasks]
     if jobs <= 1 or len(tasks) == 0:
@@ -233,10 +254,16 @@ def _finalize(
         result.error = traceback.format_exc()
 
 
+finalize_task = _finalize
+
+
 def _progress_line(result: TaskResult) -> str:
     status = "ok" if result.ok else "FAILED"
     shards = f", {result.shards} shards" if result.shards > 1 else ""
     return f"{result.name}: {status} ({result.seconds:.1f}s{shards})"
+
+
+progress_line = _progress_line
 
 
 # -- machine-readable summary ----------------------------------------------
@@ -257,6 +284,8 @@ def summary_dict(
         numpy_version: Optional[str] = numpy.__version__
     except ImportError:  # pragma: no cover - numpy is a hard dependency
         numpy_version = None
+    from ..service.jobs import cache_snapshot
+
     payload: Dict[str, object] = {
         "schema": "repro.harness.runner/1",
         "jobs": jobs,
@@ -265,6 +294,7 @@ def summary_dict(
         "numpy": numpy_version,
         "task_seconds": sum(r.seconds for r in results),
         "ok": all(r.ok for r in results),
+        "caches": cache_snapshot(),
         "results": [
             {
                 "name": r.name,
@@ -295,4 +325,38 @@ def write_summary(
     os.makedirs(directory, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(summary_dict(results, jobs, wall_seconds, extra), handle, indent=2)
+        handle.write("\n")
+
+
+#: Schema tag of the *canonical results* payload: only fields that are
+#: deterministic functions of the task list - no timings, shard counts,
+#: worker identities, or addresses - so a serial run and a
+#: service-drained run of the same grid diff byte-for-byte.
+RESULTS_SCHEMA = "repro.harness.results/1"
+
+
+def results_dict(results: Sequence[TaskResult]) -> Dict[str, object]:
+    """The canonical (timing-free) results payload for byte-diffing."""
+    return {
+        "schema": RESULTS_SCHEMA,
+        "ok": all(r.ok for r in results),
+        "results": [
+            {
+                "name": r.name,
+                "description": r.description,
+                "ok": r.ok,
+                "error": r.error,
+                "text": r.text,
+            }
+            for r in results
+        ],
+    }
+
+
+def write_results(path: str, results: Sequence[TaskResult]) -> None:
+    """Write the canonical results JSON (see :data:`RESULTS_SCHEMA`)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results_dict(results), handle, indent=2)
         handle.write("\n")

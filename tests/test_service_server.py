@@ -1,0 +1,250 @@
+"""The HTTP service front end (repro.service.server / client / cli).
+
+Covers the wire protocol (submit/status/result/stream/shutdown), the
+runner's ``--service`` integration (byte-identical canonical results),
+double-submit idempotence, pidfile lifecycle, and the graceful-stop
+path of the ``repro`` CLI.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.harness import runner
+from repro.harness.cli import main as harness_main
+from repro.service import resolve_address
+from repro.service.client import ServiceClient, ServiceError, wait_until_up
+from repro.service.server import (
+    clean_stale_pidfiles,
+    make_server,
+    pidfile_path,
+    read_pidfiles,
+    write_pidfile,
+)
+
+from .service_helpers import MODULE
+
+pytestmark = pytest.mark.service
+
+
+def _helper_task(name="grid", **kwargs):
+    return runner.ExperimentTask(name=name, description=name, module=MODULE, kwargs=kwargs)
+
+
+@pytest.fixture(scope="module")
+def service():
+    """One resident service shared by the module's read-only tests."""
+    server, svc = make_server(port=0, workers=2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    address = f"127.0.0.1:{server.server_address[1]}"
+    yield ServiceClient(address)
+    server.shutdown_service(drain=False, deadline=1.0)
+    thread.join(timeout=5.0)
+
+
+class TestEndpoints:
+    def test_status_shape(self, service):
+        payload = service.status()
+        assert payload["schema"] == "repro.service/1"
+        assert payload["pid"] == os.getpid()
+        assert len(payload["workers"]) == 2
+        assert {"jobs", "resident_memory_hits", "warm_seconds", "restarts"} <= set(
+            payload["totals"]
+        )
+        for worker in payload["workers"]:
+            assert {"worker", "pid", "jobs", "boot", "caches"} <= set(worker)
+
+    def test_submit_result_parity_and_double_submit(self, service):
+        tasks = [_helper_task("grid"), _helper_task("wide", labels=list("abcdef"))]
+        serial = runner.run_tasks(tasks, jobs=1)
+        first = service.run_tasks(tasks)
+        second = service.run_tasks(tasks)  # double submit: same bytes
+        for results in (first, second):
+            assert [r.text for r in results] == [r.text for r in serial]
+            assert [r.shards for r in results] == [4, 6]
+        assert runner.results_dict(first) == runner.results_dict(serial)
+
+    def test_stream_yields_shard_task_done(self, service):
+        sub_id = service.submit([_helper_task("streamed")])
+        kinds = [event["event"] for event in service.stream(sub_id)]
+        assert kinds.count("done") == 1 and kinds[-1] == "done"
+        assert kinds.count("task") == 1
+        assert kinds.count("shard") == 4
+        task_event = next(
+            e for e in service.stream(sub_id) if e["event"] == "task"
+        )  # replaying a finished stream works too
+        assert task_event["result"]["ok"] is True
+
+    def test_unknown_submission_and_endpoint(self, service):
+        with pytest.raises(ServiceError, match="404"):
+            service.result("nope")
+        with pytest.raises(ServiceError, match="404"):
+            service._request("/bogus")
+
+    def test_malformed_submit_rejected(self, service):
+        with pytest.raises(ServiceError, match="400"):
+            service._request("/submit", body={"tasks": []})
+
+    def test_failing_task_isolated(self, service):
+        tasks = [
+            runner.ExperimentTask(
+                name="bad", description="bad",
+                module="tests.no_such_experiment", kwargs={},
+            ),
+            _helper_task("good"),
+        ]
+        results = service.run_tasks(tasks)
+        assert not results[0].ok and "no_such_experiment" in results[0].error
+        assert results[1].ok
+
+    def test_wait_until_up(self, service):
+        assert wait_until_up(service.base, timeout=5.0)["schema"] == "repro.service/1"
+
+
+class TestRunnerIntegration:
+    def test_run_tasks_service_path_matches_serial(self, service):
+        tasks = [_helper_task("via-runner"), _helper_task("second", labels=list("xyz"))]
+        serial = runner.run_tasks(tasks, jobs=1)
+        via_service = runner.run_tasks(tasks, service=service.base)
+        assert [r.text for r in via_service] == [r.text for r in serial]
+        assert runner.results_dict(via_service) == runner.results_dict(serial)
+
+    def test_canonical_results_file_diffs_clean(self, service, tmp_path):
+        """--results bytes are identical between serial and service runs
+        (the property the CI service-smoke job enforces on a real grid)."""
+        tasks = [_helper_task("canon")]
+        serial_path = tmp_path / "serial.json"
+        service_path = tmp_path / "service.json"
+        runner.write_results(str(serial_path), runner.run_tasks(tasks, jobs=1))
+        runner.write_results(
+            str(service_path), runner.run_tasks(tasks, service=service.base)
+        )
+        assert serial_path.read_bytes() == service_path.read_bytes()
+        payload = json.loads(serial_path.read_text())
+        assert payload["schema"] == runner.RESULTS_SCHEMA
+        assert "seconds" not in payload["results"][0]
+
+    def test_harness_cli_service_flag(self, service, tmp_path, capsys):
+        """The batch CLI drains table8 through the service and writes
+        byte-identical canonical results."""
+        serial_path = tmp_path / "serial.json"
+        service_path = tmp_path / "svc.json"
+        summary_path = tmp_path / "summary.json"
+        assert harness_main(["table8", "--results", str(serial_path)]) == 0
+        assert (
+            harness_main([
+                "table8", "--service", service.base,
+                "--results", str(service_path), "--json", str(summary_path),
+            ])
+            == 0
+        )
+        assert serial_path.read_bytes() == service_path.read_bytes()
+        summary = json.loads(summary_path.read_text())
+        assert summary["service"] == service.base
+        assert summary["service_status"]["schema"] == "repro.service/1"
+        assert "caches" in summary
+
+    def test_cli_reports_dead_service(self, tmp_path, capsys):
+        with socket.socket() as probe:  # grab a port nothing listens on
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+        status = harness_main(["table8", "--service", f"127.0.0.1:{dead_port}"])
+        assert status == 1
+        assert "service error" in capsys.readouterr().err
+
+
+class TestShutdownAndPidfiles:
+    def test_shutdown_endpoint_drains_then_refuses(self):
+        server, svc = make_server(port=0, workers=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServiceClient(f"127.0.0.1:{server.server_address[1]}")
+        results = client.run_tasks([_helper_task("before-stop")])
+        assert results[0].ok
+        client.shutdown(drain=True, deadline=5.0)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            try:
+                client.submit([_helper_task("after-stop")])
+            except ServiceError:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("service kept accepting submissions after shutdown")
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+
+    def test_stale_pidfile_cleanup(self, tmp_path):
+        state = str(tmp_path)
+        # A dead pid: fork a child that exits immediately, then reuse its pid.
+        child = subprocess.run([sys.executable, "-c", "import os; print(os.getpid())"],
+                               capture_output=True, text=True, check=True)
+        dead_pid = int(child.stdout.strip())
+        path = pidfile_path(state, 9999)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"pid": dead_pid, "address": "127.0.0.1:9999", "port": 9999}, handle)
+        assert clean_stale_pidfiles(state) == [path]
+        assert read_pidfiles(state) == []
+        # A live pid survives cleanup.
+        live = write_pidfile(state, 8888, "127.0.0.1:8888")
+        assert clean_stale_pidfiles(state) == []
+        assert os.path.exists(live)
+
+    @pytest.mark.slow
+    def test_serve_subprocess_graceful_stop(self, tmp_path):
+        """`repro serve` end-to-end: boot, answer, drain on SIGTERM,
+        remove its pidfile."""
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        state = str(tmp_path / "state")
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "serve",
+             "--port", str(port), "--workers", "1", "--state-dir", state],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        try:
+            address = f"127.0.0.1:{port}"
+            wait_until_up(address, timeout=30.0)
+            assert os.path.exists(pidfile_path(state, port))
+            client = ServiceClient(address)
+            results = client.run_tasks([_helper_task("subproc")])
+            assert results[0].ok
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30.0)
+            assert not os.path.exists(pidfile_path(state, port))
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10.0)
+
+
+class TestAddressResolution:
+    def test_normalize_forms(self):
+        from repro.service.client import normalize_address
+
+        assert normalize_address("127.0.0.1:9000") == "http://127.0.0.1:9000"
+        assert normalize_address(":9000") == "http://127.0.0.1:9000"
+        assert normalize_address("9000") == "http://127.0.0.1:9000"
+        assert normalize_address("http://box:1/") == "http://box:1"
+        with pytest.raises(ServiceError):
+            normalize_address("")
+
+    def test_resolve_address_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE", raising=False)
+        assert resolve_address(None) is None
+        assert resolve_address("1.2.3.4:5") == "1.2.3.4:5"
+        monkeypatch.setenv("REPRO_SERVICE", "127.0.0.1:7777")
+        assert resolve_address(None) == "127.0.0.1:7777"
+        assert resolve_address("explicit:1") == "explicit:1"

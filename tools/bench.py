@@ -14,17 +14,30 @@ MPKI fingerprint must match the scalar ``maya`` row bit-for-bit, which
 switches every *other* trace-driven row onto the vector engine too
 (designs it cannot drive fall back to scalar and say so in the JSON).
 
+Unless ``--no-service`` is given, the run closes with the resident
+simulation service's reason-to-exist figure: the per-job cost of a
+cold process spawn (fresh interpreter + imports + one fast ``table8``
+job) against the same job's round-trip through an already-warm
+``repro.service`` worker, which must come out >=10x cheaper.  With
+``--both`` (or ``--service-grid``) it also drains the fast
+fig9+fig10+table7 grid through a live HTTP service and byte-diffs the
+canonical results against a serial run - the same invariant the CI
+``service-smoke`` job enforces.
+
 Usage::
 
     python tools/bench.py                       # full protocol, print table
     python tools/bench.py --quick               # CI-sized protocol
-    python tools/bench.py --both --out BENCH_7.json   # regenerate the
+    python tools/bench.py --both --out BENCH_8.json   # regenerate the
                                                       # checked-in baseline
     python tools/bench.py kernels               # batch/cipher kernel
                                                 # microbenchmarks only
     python tools/bench.py --quick --verify      # + reference-engine
                                                 # equivalence check
-    python tools/bench.py --quick --baseline BENCH_7.json --check-regression 25
+    python tools/bench.py --quick --baseline BENCH_8.json --check-regression 25
+    python tools/bench.py --service-grid        # + drain the fast
+                                                # fig9+fig10+table7 grid
+                                                # through a live service
     python tools/bench.py --no-trace-cache      # recompile traces every trial
                                                 # (also disables the
                                                 # translated-index cache)
@@ -223,6 +236,133 @@ def bench_batch_kernels(probes: int = 20000, seed: int = 123) -> dict:
             "blocks_per_sec": round(sets_total / victim_secs, 1),
             "scalar_blocks_per_sec": round(sets_total / victim_scalar_secs, 1),
         },
+    }
+
+
+#: Experiments in the service-drained grid row (fast scaling); the same
+#: grid the CI ``service-smoke`` job byte-diffs against a serial run.
+SERVICE_GRID = ("fig9", "fig10", "table7")
+
+
+def _cold_spawn_code() -> str:
+    """The script a cold per-job process runs: import the simulation
+    stack (what a resident worker pays once at boot) and execute one
+    tiny experiment end to end."""
+    return (
+        "from repro.harness.cli import build_tasks\n"
+        "from repro.harness import runner\n"
+        "task = build_tasks(['table8'], fast=True)[0]\n"
+        "results = runner.run_tasks([task], jobs=1)\n"
+        "assert results[0].ok, results[0].error\n"
+    )
+
+
+def bench_service_overhead(cold_jobs: int = 3, resident_jobs: int = 8) -> dict:
+    """Per-job cost: cold process spawn vs a resident warm worker.
+
+    The cold figure is the wall-clock of a fresh interpreter importing
+    the simulation stack and running one fast ``table8`` job - the
+    price *every* job pays under a spawn-per-job model.  The resident
+    figure is the round-trip for the same job through an already-warm
+    ``WorkerPool`` worker, measured from the second job on (the first
+    job eats the residual warm-up and is reported separately).  The
+    pool's whole reason to exist is the ratio between the two; the
+    function refuses to report one below 10x.
+    """
+    import subprocess
+
+    import repro
+    from repro.harness.cli import build_tasks
+    from repro.service.jobs import GridRun
+    from repro.service.pool import WorkerPool
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    code = _cold_spawn_code()
+    cold = []
+    for _ in range(cold_jobs):
+        t0 = time.perf_counter()
+        subprocess.run([sys.executable, "-c", code], env=env, check=True,
+                       stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        cold.append(time.perf_counter() - t0)
+
+    task = build_tasks(["table8"], fast=True)[0]
+    resident = []
+    with WorkerPool(workers=1) as pool:
+        for job in range(resident_jobs):
+            grid = GridRun([task], job_prefix=f"bench{job}")
+            t0 = time.perf_counter()
+            pool.submit_many(grid.units)
+            while not grid.done:
+                message = pool.next_result(timeout=120.0)
+                grid.record(message.job_id, message.payload,
+                            message.seconds, message.error)
+            resident.append(time.perf_counter() - t0)
+            for result in grid.results():
+                if not result.ok:
+                    raise AssertionError(f"resident bench job failed: {result.error}")
+    warm = resident[1:]
+    cold_median = statistics.median(cold)
+    warm_median = statistics.median(warm)
+    speedup = cold_median / warm_median
+    if speedup < 10.0:
+        raise AssertionError(
+            f"resident per-job overhead is only {speedup:.1f}x below cold spawn "
+            "(< 10x) - the worker pool is not paying for itself"
+        )
+    return {
+        "unit": "table8 (fast)",
+        "cold_spawn_seconds": [round(s, 4) for s in cold],
+        "cold_spawn_median": round(cold_median, 4),
+        "first_resident_job_seconds": round(resident[0], 4),
+        "resident_seconds": [round(s, 4) for s in warm],
+        "resident_median": round(warm_median, 4),
+        "speedup_cold_over_resident": round(speedup, 1),
+    }
+
+
+def bench_service_grid(workers: int = 4) -> dict:
+    """Drain the fast fig9+fig10+table7 grid through a live HTTP
+    service and require the canonical results to be byte-identical to
+    a serial run (the same invariant CI's ``service-smoke`` enforces),
+    reporting both wall-clocks and the service's cache-reuse totals.
+    """
+    import threading
+
+    from repro.harness import runner as harness_runner
+    from repro.harness.cli import build_tasks
+    from repro.service.client import ServiceClient
+    from repro.service.server import make_server
+
+    tasks = build_tasks(list(SERVICE_GRID), fast=True)
+    t0 = time.perf_counter()
+    serial = harness_runner.run_tasks(tasks, jobs=1)
+    serial_secs = time.perf_counter() - t0
+
+    server, _service = make_server(port=0, workers=workers)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = ServiceClient(f"127.0.0.1:{server.server_address[1]}")
+        t0 = time.perf_counter()
+        drained = client.run_tasks(tasks)
+        service_secs = time.perf_counter() - t0
+        totals = client.status()["totals"]
+    finally:
+        server.shutdown_service(drain=False, deadline=5.0)
+        thread.join(timeout=10.0)
+    if harness_runner.results_dict(drained) != harness_runner.results_dict(serial):
+        raise AssertionError(
+            "service-drained grid diverged from serial - refusing to report timings"
+        )
+    return {
+        "experiments": list(SERVICE_GRID),
+        "workers": workers,
+        "serial_seconds": round(serial_secs, 2),
+        "service_seconds": round(service_secs, 2),
+        "byte_identical": True,
+        "service_totals": totals,
     }
 
 
@@ -429,6 +569,12 @@ def main(argv=None) -> int:
                         help="checked-in BENCH_*.json to compare against")
     parser.add_argument("--check-regression", type=float, metavar="PCT", default=None,
                         help="fail if Maya throughput drops >PCT%% vs --baseline")
+    parser.add_argument("--service-grid", action="store_true",
+                        help="also drain the fast fig9+fig10+table7 grid through "
+                             "a live simulation service and byte-diff it against "
+                             "serial (always on with --both)")
+    parser.add_argument("--no-service", action="store_true",
+                        help="skip the resident-service benchmarks entirely")
     parser.add_argument("--no-trace-cache", action="store_true",
                         help="disable the on-disk compiled-trace cache "
                              f"(sets {TRACE_CACHE_ENV}=0; every trial recompiles)")
@@ -474,12 +620,13 @@ def main(argv=None) -> int:
     except ImportError:
         numpy_version = None
     payload = {
-        "bench_id": 7,
+        "bench_id": 8,
         "numpy": numpy_version,
         "pre_soa_anchor": PRE_SOA_ANCHOR,
         "pre_fused_prince_anchor": PRE_FUSED_PRINCE_ANCHOR,
         "cipher_kernels": kernels,
         "batch_kernels": batch_kernels,
+        "service": {},
         "protocols": {},
     }
 
@@ -508,6 +655,30 @@ def main(argv=None) -> int:
             other["engine"] = args.engine
         print(f"[{other_name}] {other}")
         payload["protocols"][other_name] = {"params": other, "results": run_protocol(other)}
+
+    # Service benches run last: the protocol rows above are the
+    # regression-gated figures, and the quick protocol's two short
+    # trials are the most sensitive to a machine still hot from
+    # sustained all-core load.
+    if not args.no_service:
+        print("[service] cold per-job spawn vs resident worker")
+        payload["service"]["overhead"] = bench_service_overhead()
+        o = payload["service"]["overhead"]
+        print(
+            f"  cold {o['cold_spawn_median']:.3f}s/job | resident "
+            f"{o['resident_median']*1000:.1f}ms/job after first "
+            f"({o['first_resident_job_seconds']:.3f}s first) | "
+            f"{o['speedup_cold_over_resident']:.0f}x"
+        )
+        if args.service_grid or args.both:
+            print(f"[service] draining fast {'+'.join(SERVICE_GRID)} grid")
+            payload["service"]["drained_grid"] = bench_service_grid()
+            g = payload["service"]["drained_grid"]
+            print(
+                f"  serial {g['serial_seconds']:.1f}s | service "
+                f"{g['service_seconds']:.1f}s over {g['workers']} workers | "
+                f"byte-identical OK"
+            )
 
     if args.out:
         payload["protocols"] = dict(sorted(payload["protocols"].items()))
