@@ -57,6 +57,10 @@ def splitmix_indices(line_addrs, keys: Sequence[int], index_bits: int, sdid: int
     address with the key, run the splitmix64 finalizer, and XOR-fold
     the 64-bit word down to ``index_bits``.  Returns one
     ``np.uint32`` array per key, element-aligned with ``line_addrs``.
+
+    ``line_addrs`` may be any buffer — including the non-writeable
+    views ``columns_numpy()`` hands out over mmap-backed cache columns;
+    the kernel never writes its inputs, every derived array is fresh.
     """
     _require_numpy()
     addrs = np.ascontiguousarray(line_addrs, dtype=np.uint64)
@@ -141,7 +145,12 @@ def exact_static_advances(gaps, base_latencies, base_cpi: float):
 
 
 def as_uint64(column) -> "np.ndarray":
-    """Zero-copy ``np.uint64`` view over an ``array('Q')`` column."""
+    """Zero-copy ``np.uint64`` view over a packed ``'Q'`` column.
+
+    Accepts any buffer (``array('Q')``, or a typed ``memoryview`` from
+    the mmap artifact store); the view inherits the buffer's
+    writability, so mmap-backed columns come back read-only.
+    """
     _require_numpy()
     return np.frombuffer(column, dtype=np.uint64)
 

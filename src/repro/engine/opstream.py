@@ -45,6 +45,7 @@ import zlib
 from array import array
 from typing import NamedTuple, Optional, Tuple, Union
 
+from .. import store
 from ..cache.line import ACC_EVICTED_DIRTY, ACC_HIT
 from ..cache.set_assoc import SetAssociativeCache
 from ..common.config import CacheGeometry
@@ -89,6 +90,7 @@ _stats = {
     "builds": 0,
     "disk_errors": 0,
     "build_seconds": 0.0,
+    "load_seconds": 0.0,
 }
 
 
@@ -100,6 +102,7 @@ class OpStreamCacheInfo(NamedTuple):
     builds: int
     disk_errors: int
     build_seconds: float
+    load_seconds: float
 
 
 def opstream_cache_info() -> OpStreamCacheInfo:
@@ -145,40 +148,93 @@ class OpStream(NamedTuple):
 
     @classmethod
     def from_bytes(cls, blob: bytes, expected_key: str) -> "OpStream":
-        if blob[: len(MAGIC)] != MAGIC:
-            raise TraceError(f"bad magic {blob[:len(MAGIC)]!r}")
-        if len(blob) < len(MAGIC) + _HEADER.size + _CRC.size:
+        """Parse a serialized stream; columns are copied out exactly once
+        (``memoryview`` slices — no intermediate ``bytes`` slicing)."""
+        return cls.from_buffer(blob, expected_key)
+
+    @classmethod
+    def from_buffer(
+        cls, buf, expected_key: str, *, copy: bool = True, validate: bool = True
+    ) -> "OpStream":
+        """Parse a serialized stream out of any buffer.
+
+        ``copy=False`` hands back zero-copy ``memoryview`` casts over
+        ``buf`` (the mmap store's path; the views pin the map alive);
+        ``validate=False`` skips the CRC scan for already-validated
+        maps.  Magic, key, and length checks always run.
+        """
+        view = buf if isinstance(buf, memoryview) else memoryview(buf)
+        if view.format != "B":
+            view = view.cast("B")
+        size = view.nbytes
+        if bytes(view[: len(MAGIC)]) != MAGIC:
+            raise TraceError(f"bad magic {bytes(view[:len(MAGIC)])!r}")
+        if size < len(MAGIC) + _HEADER.size + _CRC.size:
             raise TraceError("truncated header")
-        payload, crc_blob = blob[len(MAGIC) : -_CRC.size], blob[-_CRC.size :]
-        if _CRC.unpack(crc_blob)[0] != (zlib.crc32(payload) & 0xFFFFFFFF):
-            raise TraceError("CRC mismatch (corrupt cache file)")
+        payload = view[len(MAGIC) : size - _CRC.size]
+        if validate:
+            crc = _CRC.unpack_from(view, size - _CRC.size)[0]
+            if crc != (zlib.crc32(payload) & 0xFFFFFFFF):
+                raise TraceError("CRC mismatch (corrupt cache file)")
         key_len, n, m = _HEADER.unpack_from(payload)
         cursor = _HEADER.size
-        key = payload[cursor : cursor + key_len].decode("utf-8", errors="replace")
+        key = bytes(payload[cursor : cursor + key_len]).decode("utf-8", errors="replace")
         if key != expected_key:
             raise TraceError(f"key mismatch: file has {key!r}")
         cursor += key_len
         expected = cursor + n + n + m + m * 8
-        if len(payload) != expected:
-            raise TraceError(f"truncated columns: {len(payload)} bytes, expected {expected}")
-        lat_class = bytearray(payload[cursor : cursor + n])
+        if payload.nbytes != expected:
+            raise TraceError(f"truncated columns: {payload.nbytes} bytes, expected {expected}")
+        lat_view = payload[cursor : cursor + n]
         cursor += n
-        op_counts = bytearray(payload[cursor : cursor + n])
+        counts_view = payload[cursor : cursor + n]
         cursor += n
-        op_kinds = bytearray(payload[cursor : cursor + m])
+        kinds_view = payload[cursor : cursor + m]
         cursor += m
-        op_addrs = _addrs_from_bytes(payload[cursor:])
-        return cls(lat_class, op_counts, op_kinds, op_addrs)
+        addrs_view = payload[cursor:]
+        if copy or sys.byteorder == "big":
+            return cls(
+                bytearray(lat_view),
+                bytearray(counts_view),
+                bytearray(kinds_view),
+                _addrs_from_bytes(addrs_view),
+            )
+        return cls(lat_view, counts_view, kinds_view, addrs_view.cast("Q"))
+
+    def columns_numpy(self):
+        """The four columns as zero-copy, non-writeable numpy views.
+
+        Returns ``(lat_class, op_counts, op_kinds, op_addrs)`` as
+        ``uint8`` / ``uint8`` / ``uint8`` / ``uint64`` ndarrays sharing
+        memory with the packed columns.  The vector replay engine
+        (:mod:`repro.engine.vector`) consumes these directly; writes
+        would corrupt the stream (and, under the mmap store, the
+        shared map), so the views are read-only.
+        """
+        import numpy as np
+
+        views = (
+            np.frombuffer(self.lat_class, dtype=np.uint8),
+            np.frombuffer(self.op_counts, dtype=np.uint8),
+            np.frombuffer(self.op_kinds, dtype=np.uint8),
+            np.frombuffer(self.op_addrs, dtype=np.uint64),
+        )
+        for view in views:
+            view.flags.writeable = False
+        return views
 
 
-def _addr_bytes(column: array) -> bytes:
+def _addr_bytes(column) -> bytes:
+    # array('Q') or a typed memoryview from the mmap store (already
+    # little-endian; mmap columns only exist on little-endian hosts).
     if sys.byteorder == "big":
         column = array(column.typecode, column)
         column.byteswap()
     return column.tobytes()
 
 
-def _addrs_from_bytes(blob: bytes) -> array:
+def _addrs_from_bytes(blob) -> array:
+    """Heap column from little-endian bytes (any buffer; one copy)."""
     column = array("Q")
     column.frombytes(blob)
     if sys.byteorder == "big":
@@ -237,6 +293,27 @@ def _memo_put(key: str, stream: OpStream) -> None:
 
 def _load_from_disk(directory: pathlib.Path, key: str) -> Optional[OpStream]:
     path = cache_path(directory, key)
+    start = time.perf_counter()
+    if store.mmap_enabled():
+        try:
+            artifact = store.map_artifact(path, key)
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            _stats["disk_errors"] += 1
+            logger.warning("opstream cache: cannot read %s (%s); rebuilding", path, exc)
+            return None
+        except ValueError as exc:  # unmappable (empty) file: corrupt
+            return _corrupt(path, key, exc)
+        try:
+            stream = OpStream.from_buffer(
+                artifact.view(), key, copy=False, validate=not artifact.validated
+            )
+            artifact.validated = True
+        except (TraceError, struct.error, ValueError) as exc:
+            return _corrupt(path, key, exc)
+        _stats["load_seconds"] += time.perf_counter() - start
+        return stream
     try:
         blob = path.read_bytes()
     except FileNotFoundError:
@@ -246,15 +323,23 @@ def _load_from_disk(directory: pathlib.Path, key: str) -> Optional[OpStream]:
         logger.warning("opstream cache: cannot read %s (%s); rebuilding", path, exc)
         return None
     try:
-        return OpStream.from_bytes(blob, key)
+        stream = OpStream.from_bytes(blob, key)
     except (TraceError, struct.error, ValueError) as exc:
-        _stats["disk_errors"] += 1
-        logger.warning("opstream cache: %s is corrupt (%s); rebuilding", path, exc)
-        try:
-            path.unlink()
-        except OSError:
-            pass
-        return None
+        return _corrupt(path, key, exc)
+    _stats["load_seconds"] += time.perf_counter() - start
+    return stream
+
+
+def _corrupt(path: pathlib.Path, key: str, exc: Exception) -> None:
+    """Shared corrupt-file handling: warn, drop any map, unlink, miss."""
+    _stats["disk_errors"] += 1
+    logger.warning("opstream cache: %s is corrupt (%s); rebuilding", path, exc)
+    store.discard(path, key)
+    try:
+        path.unlink()
+    except OSError:
+        pass
+    return None
 
 
 def _store_to_disk(directory: pathlib.Path, key: str, stream: OpStream) -> None:

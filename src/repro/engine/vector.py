@@ -208,21 +208,23 @@ class VectorReplay:
         for core, (trace, stream) in enumerate(zip(traces, streams)):
             gaps_np = trace.columns_numpy()[2]
             n = len(gaps_np)
-            lat_np = np.frombuffer(stream.lat_class, dtype=np.uint8)
+            # Read-only views (possibly straight over a shared mmap of
+            # the cache file); every derived column below is a fresh
+            # array, nothing writes through them.
+            lat_np, counts_np, kinds_np, oaddrs_np = stream.columns_numpy()
             static = gaps_np.astype(np.int64) * cpi_i + lat_i[lat_np]
             ext = np.zeros(n + 1, dtype=np.int64)
             np.cumsum(static, out=ext[1:])
             gext = np.zeros(n + 1, dtype=np.int64)
             np.cumsum(gaps_np, dtype=np.int64, out=gext[1:])
-            counts_np = np.frombuffer(stream.op_counts, dtype=np.uint8)
             op_off = np.zeros(n + 1, dtype=np.int64)
             np.cumsum(counts_np, dtype=np.int64, out=op_off[1:])
             self._ext.append(ext)
             self._gext.append(gext)
             self._op_idx.append(np.flatnonzero(counts_np))
             self._op_off.append(op_off)
-            self._kinds_np.append(np.frombuffer(stream.op_kinds, dtype=np.uint8))
-            self._oaddrs_np.append(np.frombuffer(stream.op_addrs, dtype=np.uint64))
+            self._kinds_np.append(kinds_np)
+            self._oaddrs_np.append(oaddrs_np)
             self._ckey.append(
                 (
                     bytes(trace.gaps),

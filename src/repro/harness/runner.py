@@ -284,7 +284,7 @@ def summary_dict(
         numpy_version: Optional[str] = numpy.__version__
     except ImportError:  # pragma: no cover - numpy is a hard dependency
         numpy_version = None
-    from ..service.jobs import cache_snapshot
+    from ..service.jobs import cache_snapshot, memory_info
 
     payload: Dict[str, object] = {
         "schema": "repro.harness.runner/1",
@@ -294,7 +294,11 @@ def summary_dict(
         "numpy": numpy_version,
         "task_seconds": sum(r.seconds for r in results),
         "ok": all(r.ok for r in results),
+        # "caches" includes the mmap artifact store's map/reuse counters
+        # ("store" layer); "memory" adds this process's peak RSS and the
+        # bytes currently mapped (shared page-cache pages, not copies).
         "caches": cache_snapshot(),
+        "memory": memory_info(),
         "results": [
             {
                 "name": r.name,

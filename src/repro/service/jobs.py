@@ -31,13 +31,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..harness import runner
 from ..harness.runner import ExperimentTask, TaskResult
 
-#: The three resident caches a worker warms once and reuses per job.
-CACHE_LAYERS = ("trace", "translated", "opstream")
+#: The three resident caches a worker warms once and reuses per job,
+#: plus the mmap artifact store underneath them ("store" counts maps
+#: and map reuse rather than hits/misses).
+CACHE_LAYERS = ("trace", "translated", "opstream", "store")
 
 
 def cache_snapshot() -> Dict[str, Dict[str, float]]:
-    """Counters of the three process-wide caches, as plain dicts."""
+    """Counters of the process-wide caches and store, as plain dicts."""
     from ..engine.opstream import opstream_cache_info
+    from ..store import store_cache_info
     from ..trace.compiled import trace_cache_info
     from ..trace.translated import translated_cache_info
 
@@ -45,7 +48,20 @@ def cache_snapshot() -> Dict[str, Dict[str, float]]:
         "trace": dict(trace_cache_info()._asdict()),
         "translated": dict(translated_cache_info()._asdict()),
         "opstream": dict(opstream_cache_info()._asdict()),
+        "store": dict(store_cache_info()._asdict()),
     }
+
+
+def memory_info() -> Dict[str, int]:
+    """Per-process memory gauges (peak RSS, live mapped bytes).
+
+    Workers attach this to every completion message so ``/status`` can
+    report per-worker peak RSS next to mapped-bytes-shared — the figure
+    that makes the mmap store's N-way sharing observable.
+    """
+    from ..store import memory_info as _store_memory_info
+
+    return _store_memory_info()
 
 
 def cache_delta(

@@ -21,11 +21,14 @@ poisonous and fails with an error result instead of crash-looping the
 pool.
 
 **Accounting.**  Each job result carries the worker's cache-counter
-deltas (:func:`repro.service.jobs.cache_delta`); the supervisor folds
-them into per-worker totals - boot/warm seconds, jobs drained, busy
-seconds, memory/disk hits per cache layer - surfaced through
+deltas (:func:`repro.service.jobs.cache_delta`) plus its current
+memory gauges (peak RSS, bytes mapped through the artifact store); the
+supervisor folds the deltas into per-worker totals - boot/warm
+seconds, jobs drained, busy seconds, memory/disk hits per cache layer -
+and keeps the latest gauges, all surfaced through
 :meth:`WorkerPool.worker_stats` (and from there the runner JSON
-summary and the service ``/status`` endpoint).
+summary and the service ``/status`` endpoint, where mapped bytes shared
+across the pool make the mmap store's N-way memory win observable).
 
 Threading model: one daemon dispatcher thread owns the workers; public
 methods only touch the job queue / result queue under a lock, and a
@@ -96,6 +99,7 @@ class _WorkerHandle:
     busy_seconds: float = 0.0
     restarts: int = 0
     caches: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    memory: Dict[str, int] = field(default_factory=dict)
 
 
 def _worker_main(conn, index: int, warm_modules: Sequence[str]) -> None:
@@ -113,6 +117,7 @@ def _worker_main(conn, index: int, warm_modules: Sequence[str]) -> None:
         "warm_seconds": round(time.perf_counter() - start, 4),
         "warmed_modules": len(warmed),
         "skipped_modules": skipped,
+        "memory": jobs_mod.memory_info(),
     }
     try:
         conn.send(("ready", boot))
@@ -124,7 +129,10 @@ def _worker_main(conn, index: int, warm_modules: Sequence[str]) -> None:
             before = jobs_mod.cache_snapshot()
             payload, seconds, error = jobs_mod.execute(unit)
             delta = jobs_mod.cache_delta(before, jobs_mod.cache_snapshot())
-            conn.send(("done", job_id, payload, seconds, error, delta))
+            # Fresh memory gauges ride along with every completion so
+            # the supervisor's /status report (peak RSS, live mapped
+            # bytes) tracks the worker without an extra round-trip.
+            conn.send(("done", job_id, payload, seconds, error, delta, jobs_mod.memory_info()))
     except (EOFError, OSError, KeyboardInterrupt):
         pass  # supervisor went away or we were interrupted: just exit
     finally:
@@ -304,6 +312,9 @@ class WorkerPool:
                 resident_hits = sum(
                     layer.get("memory_hits", 0) for layer in w.caches.values()
                 )
+                # Last-reported memory gauges (from the newest "done"
+                # message; the boot report before the first job).
+                memory = dict(w.memory) or dict(w.boot.get("memory") or {})
                 stats.append(
                     {
                         "worker": w.index,
@@ -316,6 +327,9 @@ class WorkerPool:
                         "caches": {k: dict(v) for k, v in w.caches.items()},
                         "resident_memory_hits": resident_hits,
                         "warm_compiles": trace.get("compiles", 0),
+                        "memory": memory,
+                        "peak_rss_kb": memory.get("peak_rss_kb", 0),
+                        "mapped_bytes": memory.get("mapped_bytes", 0),
                     }
                 )
             return stats
@@ -404,12 +418,13 @@ class WorkerPool:
                 worker.boot = message[1]
             self._wake()  # there may be queued work waiting for capacity
         elif kind == "done":
-            _, job_id, payload, seconds, error, delta = message
+            _, job_id, payload, seconds, error, delta, memory = message
             with self._idle:
                 worker.inflight = None
                 worker.jobs_done += 1
                 worker.busy_seconds += seconds
                 jobs_mod.accumulate_caches(worker.caches, delta)
+                worker.memory = dict(memory)
                 self._idle.notify_all()
             self._results.put(
                 ResultMessage(

@@ -226,6 +226,11 @@ class SimulationService:
         # Aggregate warm accounting: total resident-cache reuse across
         # the pool, plus first-touch warm cost, so "did the residency
         # pay off" is answerable from /status alone.
+        # Memory: per-worker peak RSS sums to the pool's aggregate
+        # footprint, while mapped artifact bytes are *shared* - the
+        # same page-cache pages back every worker's maps - so the
+        # physical cost of all maps together is the max, not the sum.
+        mapped = [w.get("mapped_bytes", 0) for w in workers]
         totals = {
             "jobs": sum(w["jobs"] for w in workers),
             "resident_memory_hits": sum(w["resident_memory_hits"] for w in workers),
@@ -233,6 +238,12 @@ class SimulationService:
                 sum(w["boot"].get("warm_seconds", 0.0) for w in workers), 4
             ),
             "restarts": self.pool.restarts,
+            "peak_rss_kb": sum(w.get("peak_rss_kb", 0) for w in workers),
+            "mapped_bytes_total": sum(mapped),
+            "mapped_bytes_shared": max(mapped) if mapped else 0,
+            "map_reuses": sum(
+                w["caches"].get("store", {}).get("map_reuses", 0) for w in workers
+            ),
         }
         return {
             "schema": SCHEMA,

@@ -1,0 +1,293 @@
+"""Zero-copy mmap-backed artifact store for the on-disk caches.
+
+The three content-keyed artifact caches (compiled traces, translated
+index columns, pre-simulated op streams) hold immutable packed columns
+that every process needs verbatim.  Reading them with ``read()`` +
+``array.frombytes`` gives each process a private heap copy — N identical
+copies across the resident service workers, ``--jobs`` shards, and bench
+trials.  This module maps the files instead:
+
+* :func:`map_artifact` opens a cache file read-only and ``mmap``\\ s it
+  (``ACCESS_READ`` — ``MAP_SHARED`` + ``PROT_READ`` on POSIX), so the OS
+  page cache is the single physical copy shared by every process that
+  maps the same file.
+* The caller validates magic/CRC *against the mapped bytes* (``zlib.crc32``
+  accepts any buffer) and slices ``memoryview`` columns straight out of
+  the map — no heap materialization at all.  The buffer protocol
+  refcounts for us: every exported column view keeps the map alive, and
+  the map keeps the mapped pages alive, even after the file is unlinked
+  or ``os.replace``\\ d (the old inode stays mapped; readers keep serving
+  the content they validated).
+* A per-process registry keyed by ``(absolute path, content key)``
+  deduplicates repeat opens.  Reuse is gated on the file's current
+  ``(device, inode, size, mtime_ns)`` identity, so an ``os.replace`` by
+  a concurrent writer is detected and mapped fresh, while the stale
+  entry is dropped (its pages survive for any live views).
+
+``REPRO_MMAP`` (:data:`MMAP_ENV`) disables the layer with the usual
+tokens (``0 / off / none / false / disabled``); the caches then fall
+back to the heap path, which is kept as the differential oracle — stats
+and MPKI fingerprints are bit-identical either way.  The store also
+auto-disables on big-endian hosts, where zero-copy casts of the
+little-endian file columns would be wrong.
+
+Counters (:func:`store_cache_info`) are monotonic so the service's
+``cache_delta`` accounting can attribute per-job store activity, and
+:func:`mapped_bytes_current` / :func:`peak_rss_kb` feed the ``/status``
+per-worker memory report.
+"""
+
+from __future__ import annotations
+
+import logging
+import mmap
+import os
+import pathlib
+import sys
+import time
+from typing import Dict, NamedTuple, Optional, Tuple, Union
+
+logger = logging.getLogger(__name__)
+
+#: Environment toggle for the mmap artifact store.  Unset or any other
+#: value enables it; ``0 / off / none / false / disabled`` selects the
+#: heap-loading fallback (the differential oracle).
+MMAP_ENV = "REPRO_MMAP"
+
+_DISABLED_VALUES = frozenset(("0", "off", "none", "false", "disabled"))
+
+
+def mmap_enabled() -> bool:
+    """Whether cache loads should go through the mmap store.
+
+    Checked per load so tests (and ``repro`` subprocesses inheriting the
+    environment) can flip :data:`MMAP_ENV` at any time.  Big-endian
+    hosts always use the heap path: the cache files are little-endian
+    and a zero-copy ``memoryview.cast`` cannot byteswap.
+    """
+    if sys.byteorder != "little":
+        return False
+    raw = os.environ.get(MMAP_ENV)
+    if raw is None or not raw.strip():
+        return True
+    return raw.strip().lower() not in _DISABLED_VALUES
+
+
+class MappedArtifact:
+    """One read-only mapped cache file plus its registry identity.
+
+    ``view()`` hands out a ``memoryview`` over the whole map; slices of
+    it (the column views the caches export) hold the map — and therefore
+    the mapped inode — alive through the buffer protocol.  ``validated``
+    is set by the owning cache after the first successful magic/CRC
+    check: the inode's bytes are immutable under the caches' atomic
+    write protocol (tmp file + ``os.replace``), so revalidating a reused
+    map would only re-scan bytes that cannot have changed.
+    """
+
+    __slots__ = ("path", "key", "size", "ident", "validated", "_map", "_view")
+
+    def __init__(self, path: str, key: str, ident: Tuple[int, int, int, int], mapped: mmap.mmap):
+        self.path = path
+        self.key = key
+        self.ident = ident
+        self.size = ident[2]
+        self.validated = False
+        self._map = mapped
+        self._view: Optional[memoryview] = None
+
+    def view(self) -> memoryview:
+        """A zero-copy read-only view over the whole mapped file."""
+        if self._view is None:
+            self._view = memoryview(self._map)
+        return self._view
+
+    def close(self) -> bool:
+        """Try to unmap now; ``False`` if exported views still pin it.
+
+        Failure is benign — the map is dropped from the registry either
+        way and the garbage collector unmaps it once the last column
+        view dies.
+        """
+        try:
+            if self._view is not None:
+                self._view.release()
+                self._view = None
+            self._map.close()
+            return True
+        except BufferError:
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MappedArtifact(path={self.path!r}, size={self.size}, validated={self.validated})"
+
+
+class StoreCacheInfo(NamedTuple):
+    """Monotonic counters of the per-process map registry."""
+
+    #: Files newly mapped (registry misses that reached ``mmap``).
+    maps: int
+    #: Registry hits: a repeat open served by an existing map.
+    map_reuses: int
+    #: Maps dropped (corrupt file, or replaced by a concurrent writer).
+    evictions: int
+    #: OS-level failures while mapping (not corruption; not missing files).
+    map_errors: int
+    #: Cumulative bytes newly mapped (monotonic; see
+    #: :func:`mapped_bytes_current` for the live gauge).
+    mapped_bytes: int
+    #: Seconds spent in ``open`` + ``mmap`` for new maps.
+    map_seconds: float
+
+
+_stats = {
+    "maps": 0,
+    "map_reuses": 0,
+    "evictions": 0,
+    "map_errors": 0,
+    "mapped_bytes": 0,
+    "map_seconds": 0.0,
+}
+
+#: The per-process map registry: ``(absolute path, content key)`` ->
+#: :class:`MappedArtifact`.  One entry per distinct artifact; repeat
+#: opens are deduplicated against it.
+_registry: Dict[Tuple[str, str], MappedArtifact] = {}
+
+
+def store_cache_info() -> StoreCacheInfo:
+    """Snapshot of the process-wide store counters."""
+    return StoreCacheInfo(**_stats)
+
+
+def reset_store_stats() -> None:
+    """Zero the process-wide store counters (tests)."""
+    for name in _stats:
+        _stats[name] = 0.0 if isinstance(_stats[name], float) else 0
+
+
+def registry_size() -> int:
+    """Number of live maps in this process's registry."""
+    return len(_registry)
+
+
+def mapped_bytes_current() -> int:
+    """Bytes currently mapped through the registry (a gauge, not a
+    counter): the per-process virtual footprint whose physical pages are
+    shared machine-wide through the page cache."""
+    return sum(entry.size for entry in _registry.values())
+
+
+def map_artifact(path: Union[str, pathlib.Path], key: str) -> MappedArtifact:
+    """Map ``path`` read-only, deduplicated by ``(path, key)``.
+
+    Raises ``FileNotFoundError`` for a plain cache miss, ``OSError`` for
+    OS-level failures, and ``ValueError`` for files ``mmap`` rejects
+    (empty — necessarily corrupt, since every artifact has a header).
+    Reuse requires the file's ``(dev, inode, size, mtime_ns)`` identity
+    to match the mapped one; a mismatch (a writer ``os.replace``\\ d the
+    file) evicts the stale entry and maps the new inode.
+    """
+    apath = os.path.abspath(os.fspath(path))
+    registry_key = (apath, key)
+    st = os.stat(apath)  # FileNotFoundError propagates: an ordinary miss
+    ident = (st.st_dev, st.st_ino, st.st_size, st.st_mtime_ns)
+    entry = _registry.get(registry_key)
+    if entry is not None:
+        if entry.ident == ident:
+            _stats["map_reuses"] += 1
+            return entry
+        _evict(registry_key, entry)
+    start = time.perf_counter()
+    try:
+        fd = os.open(apath, os.O_RDONLY)
+        try:
+            mapped = mmap.mmap(fd, 0, access=mmap.ACCESS_READ)
+        finally:
+            os.close(fd)
+    except ValueError:
+        raise
+    except OSError:
+        _stats["map_errors"] += 1
+        raise
+    entry = MappedArtifact(apath, key, ident, mapped)
+    _registry[registry_key] = entry
+    _stats["maps"] += 1
+    _stats["mapped_bytes"] += st.st_size
+    _stats["map_seconds"] += time.perf_counter() - start
+    return entry
+
+
+def discard(path: Union[str, pathlib.Path], key: str) -> None:
+    """Drop the registry entry for ``(path, key)`` (corrupt artifact).
+
+    Live column views keep the old pages readable; the next
+    :func:`map_artifact` for the path maps whatever the rebuilt file
+    contains.
+    """
+    registry_key = (os.path.abspath(os.fspath(path)), key)
+    entry = _registry.get(registry_key)
+    if entry is not None:
+        _evict(registry_key, entry)
+
+
+def _evict(registry_key: Tuple[str, str], entry: MappedArtifact) -> None:
+    del _registry[registry_key]
+    _stats["evictions"] += 1
+    entry.close()
+
+
+def clear_registry() -> int:
+    """Drop every map (tests; cache-directory teardown).
+
+    Returns how many entries could not be unmapped immediately because
+    column views still reference them (they unmap at GC time).
+    """
+    pinned = 0
+    while _registry:
+        _, entry = _registry.popitem()
+        if not entry.close():
+            pinned += 1
+    return pinned
+
+
+# -- process memory accounting (service /status, bench v9) ------------------
+
+
+def peak_rss_kb() -> int:
+    """This process's peak resident set size in KiB (0 if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS
+        peak //= 1024
+    return int(peak)
+
+
+def proportional_rss_kb() -> Optional[int]:
+    """This process's PSS in KiB from ``/proc`` (``None`` if unavailable).
+
+    PSS divides each shared physical page by the number of processes
+    mapping it, so — unlike RSS, which bills every mapper the full page —
+    it shows the mmap store's N-way sharing directly.  Linux-only.
+    """
+    try:
+        with open("/proc/self/smaps_rollup", "rb") as fh:
+            for line in fh:
+                if line.startswith(b"Pss:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def memory_info() -> dict:
+    """Per-process memory gauges for the service's ``/status`` report."""
+    return {
+        "peak_rss_kb": peak_rss_kb(),
+        "mapped_bytes": mapped_bytes_current(),
+        "maps": _stats["maps"],
+        "map_reuses": _stats["map_reuses"],
+    }

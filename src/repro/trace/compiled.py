@@ -53,6 +53,7 @@ from array import array
 from itertools import islice
 from typing import Iterable, Iterator, NamedTuple, Optional, Union
 
+from .. import store
 from ..common.errors import TraceError
 from .record import MemoryAccess
 from .workloads import get_workload
@@ -162,17 +163,21 @@ class CompiledTrace:
         Returns ``(line_addrs, write_flags, gaps)`` as ``uint64`` /
         ``uint8`` / ``uint32`` ndarrays sharing memory with the packed
         columns (``np.frombuffer`` over the buffer protocol — no copy).
-        Treat them as read-only: writes would corrupt the trace.  The
-        vector replay engine (:mod:`repro.engine.vector`) consumes
-        these directly.
+        The views are explicitly non-writeable: writes would corrupt the
+        trace (and, under the mmap store, the shared map).  The vector
+        replay engine (:mod:`repro.engine.vector`) consumes these
+        directly.
         """
         import numpy as np
 
-        return (
+        views = (
             np.frombuffer(self.line_addrs, dtype=np.uint64),
             np.frombuffer(self.write_flags, dtype=np.uint8),
             np.frombuffer(self.gaps, dtype=np.uint32),
         )
+        for view in views:
+            view.flags.writeable = False
+        return views
 
     # -- serialization -----------------------------------------------------
 
@@ -195,42 +200,79 @@ class CompiledTrace:
     @classmethod
     def from_bytes(cls, blob: bytes, expected_key: str) -> "CompiledTrace":
         """Parse a serialized trace; raises :class:`TraceError` on any
-        corruption (bad magic, wrong key, truncation, CRC mismatch)."""
-        if blob[: len(MAGIC)] != MAGIC:
-            raise TraceError(f"bad magic {blob[:len(MAGIC)]!r}")
-        if len(blob) < len(MAGIC) + _HEADER.size + _CRC.size:
+        corruption (bad magic, wrong key, truncation, CRC mismatch).
+
+        Columns are copied out exactly once (``frombytes`` over
+        ``memoryview`` slices — no intermediate ``bytes`` slicing)."""
+        return cls.from_buffer(blob, expected_key)
+
+    @classmethod
+    def from_buffer(
+        cls, buf, expected_key: str, *, copy: bool = True, validate: bool = True
+    ) -> "CompiledTrace":
+        """Parse a serialized trace out of any buffer.
+
+        With ``copy=True`` the columns are materialized on the heap
+        (one copy).  With ``copy=False`` they are zero-copy
+        ``memoryview`` casts over ``buf`` — the mmap store's path, where
+        ``buf`` is the mapped file and the views pin the map alive.
+        ``validate=False`` skips the CRC scan (only safe when the same
+        mapped bytes already passed it once); magic, key, and length
+        checks always run.
+        """
+        view = buf if isinstance(buf, memoryview) else memoryview(buf)
+        if view.format != "B":
+            view = view.cast("B")
+        size = view.nbytes
+        if bytes(view[: len(MAGIC)]) != MAGIC:
+            raise TraceError(f"bad magic {bytes(view[:len(MAGIC)])!r}")
+        if size < len(MAGIC) + _HEADER.size + _CRC.size:
             raise TraceError("truncated header")
-        payload, crc_blob = blob[len(MAGIC) : -_CRC.size], blob[-_CRC.size :]
-        if _CRC.unpack(crc_blob)[0] != (zlib.crc32(payload) & 0xFFFFFFFF):
-            raise TraceError("CRC mismatch (corrupt cache file)")
+        payload = view[len(MAGIC) : size - _CRC.size]
+        if validate:
+            crc = _CRC.unpack_from(view, size - _CRC.size)[0]
+            if crc != (zlib.crc32(payload) & 0xFFFFFFFF):
+                raise TraceError("CRC mismatch (corrupt cache file)")
         key_len, count = _HEADER.unpack_from(payload)
         cursor = _HEADER.size
-        key = payload[cursor : cursor + key_len].decode("utf-8", errors="replace")
+        key = bytes(payload[cursor : cursor + key_len]).decode("utf-8", errors="replace")
         if key != expected_key:
             raise TraceError(f"key mismatch: file has {key!r}")
         cursor += key_len
         expected_size = cursor + count * (8 + 1 + 4)
-        if len(payload) != expected_size:
+        if payload.nbytes != expected_size:
             raise TraceError(
-                f"truncated columns: {len(payload)} bytes, expected {expected_size}"
+                f"truncated columns: {payload.nbytes} bytes, expected {expected_size}"
             )
-        addrs = _column_from_bytes("Q", payload[cursor : cursor + count * 8])
+        addrs_view = payload[cursor : cursor + count * 8]
         cursor += count * 8
-        flags = bytearray(payload[cursor : cursor + count])
+        flags_view = payload[cursor : cursor + count]
         cursor += count
-        gaps = _column_from_bytes("I", payload[cursor : cursor + count * 4])
-        return cls(addrs, flags, gaps)
+        gaps_view = payload[cursor : cursor + count * 4]
+        if copy or sys.byteorder == "big":
+            return cls(
+                _column_from_bytes("Q", addrs_view),
+                bytearray(flags_view),
+                _column_from_bytes("I", gaps_view),
+            )
+        return cls(addrs_view.cast("Q"), flags_view, gaps_view.cast("I"))
 
 
-def _column_bytes(column: array) -> bytes:
-    """Column bytes in little-endian order regardless of host endianness."""
+def _column_bytes(column) -> bytes:
+    """Column bytes in little-endian order regardless of host endianness.
+
+    ``column`` is an ``array`` or a typed ``memoryview`` (a zero-copy
+    column handed out by the mmap store, whose backing file is already
+    little-endian — mmap columns only exist on little-endian hosts).
+    """
     if sys.byteorder == "big":
         column = array(column.typecode, column)
         column.byteswap()
     return column.tobytes()
 
 
-def _column_from_bytes(typecode: str, blob: bytes) -> array:
+def _column_from_bytes(typecode: str, blob) -> array:
+    """Heap column from little-endian bytes (any buffer; one copy)."""
     column = array(typecode)
     column.frombytes(blob)
     if sys.byteorder == "big":
@@ -335,8 +377,35 @@ def _memo_put(key: str, trace: CompiledTrace) -> None:
 
 
 def _load_from_disk(directory: pathlib.Path, key: str) -> Optional[CompiledTrace]:
-    """Load a cached trace; any corruption degrades to a miss."""
+    """Load a cached trace; any corruption degrades to a miss.
+
+    With the mmap store enabled (:func:`repro.store.mmap_enabled`) the
+    file is mapped read-only and the columns are zero-copy views over
+    the shared map; otherwise the heap oracle reads and copies.  Both
+    paths count the same stats and fail the same way.
+    """
     path = cache_path(directory, key)
+    start = time.perf_counter()
+    if store.mmap_enabled():
+        try:
+            artifact = store.map_artifact(path, key)
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            _stats["disk_errors"] += 1
+            logger.warning("trace cache: cannot read %s (%s); regenerating", path, exc)
+            return None
+        except ValueError as exc:  # unmappable (empty) file: corrupt
+            return _corrupt(path, key, exc)
+        try:
+            trace = CompiledTrace.from_buffer(
+                artifact.view(), key, copy=False, validate=not artifact.validated
+            )
+            artifact.validated = True
+        except (TraceError, struct.error, ValueError) as exc:
+            return _corrupt(path, key, exc)
+        _stats["load_seconds"] += time.perf_counter() - start
+        return trace
     try:
         blob = path.read_bytes()
     except FileNotFoundError:
@@ -345,19 +414,24 @@ def _load_from_disk(directory: pathlib.Path, key: str) -> Optional[CompiledTrace
         _stats["disk_errors"] += 1
         logger.warning("trace cache: cannot read %s (%s); regenerating", path, exc)
         return None
-    start = time.perf_counter()
     try:
         trace = CompiledTrace.from_bytes(blob, key)
     except (TraceError, struct.error, ValueError) as exc:
-        _stats["disk_errors"] += 1
-        logger.warning("trace cache: %s is corrupt (%s); regenerating", path, exc)
-        try:
-            path.unlink()
-        except OSError:
-            pass
-        return None
+        return _corrupt(path, key, exc)
     _stats["load_seconds"] += time.perf_counter() - start
     return trace
+
+
+def _corrupt(path: pathlib.Path, key: str, exc: Exception) -> None:
+    """Shared corrupt-file handling: warn, drop any map, unlink, miss."""
+    _stats["disk_errors"] += 1
+    logger.warning("trace cache: %s is corrupt (%s); regenerating", path, exc)
+    store.discard(path, key)
+    try:
+        path.unlink()
+    except OSError:
+        pass
+    return None
 
 
 def _store_to_disk(directory: pathlib.Path, key: str, trace: CompiledTrace) -> None:

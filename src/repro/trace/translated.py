@@ -44,11 +44,13 @@ import logging
 import os
 import pathlib
 import struct
+import sys
 import time
 import zlib
 from array import array
 from typing import NamedTuple, Optional, Sequence, Tuple, Union
 
+from .. import store
 from ..common.errors import TraceError
 from ..crypto.randomizer import IndexRandomizer
 from .compiled import (
@@ -112,18 +114,20 @@ class TranslatedTrace:
 
         ``line_addrs`` comes back as a ``uint64`` ndarray and each skew
         column as a ``uint32`` ndarray, all sharing memory with the
-        packed ``array`` columns.  Treat them as read-only: writes
-        would corrupt the cached translation.  Callers (the vector
-        engine's precompute pass, the batch-kernel microbenchmarks)
-        use these to seed the randomizer side table without a
-        per-element unbox loop.
+        packed columns.  The views are explicitly non-writeable: writes
+        would corrupt the cached translation (and, under the mmap
+        store, the shared map).  Callers (the vector engine's
+        precompute pass, the batch-kernel microbenchmarks) use these to
+        seed the randomizer side table without a per-element unbox
+        loop.
         """
         import numpy as np
 
-        return (
-            np.frombuffer(self.line_addrs, dtype=np.uint64),
-            tuple(np.frombuffer(col, dtype=np.uint32) for col in self.columns),
-        )
+        addrs = np.frombuffer(self.line_addrs, dtype=np.uint64)
+        columns = tuple(np.frombuffer(col, dtype=np.uint32) for col in self.columns)
+        for view in (addrs,) + columns:
+            view.flags.writeable = False
+        return (addrs, columns)
 
     # -- serialization -----------------------------------------------------
 
@@ -147,30 +151,55 @@ class TranslatedTrace:
     @classmethod
     def from_bytes(cls, blob: bytes, expected_key: str) -> "TranslatedTrace":
         """Parse a serialized translation; raises :class:`TraceError` on
-        any corruption (bad magic, wrong key, truncation, CRC mismatch)."""
-        if blob[: len(MAGIC)] != MAGIC:
-            raise TraceError(f"bad magic {blob[:len(MAGIC)]!r}")
-        if len(blob) < len(MAGIC) + _HEADER.size + _CRC.size:
+        any corruption (bad magic, wrong key, truncation, CRC mismatch).
+
+        Columns are copied out exactly once (``frombytes`` over
+        ``memoryview`` slices — no intermediate ``bytes`` slicing)."""
+        return cls.from_buffer(blob, expected_key)
+
+    @classmethod
+    def from_buffer(
+        cls, buf, expected_key: str, *, copy: bool = True, validate: bool = True
+    ) -> "TranslatedTrace":
+        """Parse a serialized translation out of any buffer.
+
+        ``copy=False`` hands back zero-copy ``memoryview`` casts over
+        ``buf`` (the mmap store's path; the views pin the map alive);
+        ``validate=False`` skips the CRC scan for already-validated
+        maps.  Magic, key, and length checks always run.
+        """
+        view = buf if isinstance(buf, memoryview) else memoryview(buf)
+        if view.format != "B":
+            view = view.cast("B")
+        size = view.nbytes
+        if bytes(view[: len(MAGIC)]) != MAGIC:
+            raise TraceError(f"bad magic {bytes(view[:len(MAGIC)])!r}")
+        if size < len(MAGIC) + _HEADER.size + _CRC.size:
             raise TraceError("truncated header")
-        payload, crc_blob = blob[len(MAGIC) : -_CRC.size], blob[-_CRC.size :]
-        if _CRC.unpack(crc_blob)[0] != (zlib.crc32(payload) & 0xFFFFFFFF):
-            raise TraceError("CRC mismatch (corrupt cache file)")
+        payload = view[len(MAGIC) : size - _CRC.size]
+        if validate:
+            crc = _CRC.unpack_from(view, size - _CRC.size)[0]
+            if crc != (zlib.crc32(payload) & 0xFFFFFFFF):
+                raise TraceError("CRC mismatch (corrupt cache file)")
         key_len, skews, count = _HEADER.unpack_from(payload)
         cursor = _HEADER.size
-        key = payload[cursor : cursor + key_len].decode("utf-8", errors="replace")
+        key = bytes(payload[cursor : cursor + key_len]).decode("utf-8", errors="replace")
         if key != expected_key:
             raise TraceError(f"key mismatch: file has {key!r}")
         cursor += key_len
         expected_size = cursor + count * (8 + 4 * skews)
-        if len(payload) != expected_size:
+        if payload.nbytes != expected_size:
             raise TraceError(
-                f"truncated columns: {len(payload)} bytes, expected {expected_size}"
+                f"truncated columns: {payload.nbytes} bytes, expected {expected_size}"
             )
-        addrs = _column_from_bytes("Q", payload[cursor : cursor + count * 8])
+        heap = copy or sys.byteorder == "big"
+        addrs_view = payload[cursor : cursor + count * 8]
+        addrs = _column_from_bytes("Q", addrs_view) if heap else addrs_view.cast("Q")
         cursor += count * 8
         columns = []
         for _ in range(skews):
-            columns.append(_column_from_bytes("I", payload[cursor : cursor + count * 4]))
+            col_view = payload[cursor : cursor + count * 4]
+            columns.append(_column_from_bytes("I", col_view) if heap else col_view.cast("I"))
             cursor += count * 4
         return cls(addrs, columns)
 
@@ -291,8 +320,34 @@ def _memo_put(key: str, translated: TranslatedTrace) -> None:
 
 
 def _load_from_disk(directory: pathlib.Path, key: str) -> Optional[TranslatedTrace]:
-    """Load a cached translation; any corruption degrades to a miss."""
+    """Load a cached translation; any corruption degrades to a miss.
+
+    Mirrors the trace cache: mmap store enabled → zero-copy views over
+    the shared map; disabled → the heap oracle.  Same stats, same
+    failure handling either way.
+    """
     path = cache_path(directory, key)
+    start = time.perf_counter()
+    if store.mmap_enabled():
+        try:
+            artifact = store.map_artifact(path, key)
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            _stats["disk_errors"] += 1
+            logger.warning("translated cache: cannot read %s (%s); retranslating", path, exc)
+            return None
+        except ValueError as exc:  # unmappable (empty) file: corrupt
+            return _corrupt(path, key, exc)
+        try:
+            translated = TranslatedTrace.from_buffer(
+                artifact.view(), key, copy=False, validate=not artifact.validated
+            )
+            artifact.validated = True
+        except (TraceError, struct.error, ValueError) as exc:
+            return _corrupt(path, key, exc)
+        _stats["load_seconds"] += time.perf_counter() - start
+        return translated
     try:
         blob = path.read_bytes()
     except FileNotFoundError:
@@ -301,19 +356,24 @@ def _load_from_disk(directory: pathlib.Path, key: str) -> Optional[TranslatedTra
         _stats["disk_errors"] += 1
         logger.warning("translated cache: cannot read %s (%s); retranslating", path, exc)
         return None
-    start = time.perf_counter()
     try:
         translated = TranslatedTrace.from_bytes(blob, key)
     except (TraceError, struct.error, ValueError) as exc:
-        _stats["disk_errors"] += 1
-        logger.warning("translated cache: %s is corrupt (%s); retranslating", path, exc)
-        try:
-            path.unlink()
-        except OSError:
-            pass
-        return None
+        return _corrupt(path, key, exc)
     _stats["load_seconds"] += time.perf_counter() - start
     return translated
+
+
+def _corrupt(path: pathlib.Path, key: str, exc: Exception) -> None:
+    """Shared corrupt-file handling: warn, drop any map, unlink, miss."""
+    _stats["disk_errors"] += 1
+    logger.warning("translated cache: %s is corrupt (%s); retranslating", path, exc)
+    store.discard(path, key)
+    try:
+        path.unlink()
+    except OSError:
+        pass
+    return None
 
 
 def _store_to_disk(directory: pathlib.Path, key: str, translated: TranslatedTrace) -> None:

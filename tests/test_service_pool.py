@@ -181,7 +181,10 @@ class TestLifecycleAndAccounting:
         assert sum(w["jobs"] for w in stats) == len(first.units) + len(again.units)
         for w in stats:
             assert w["boot"]["warm_seconds"] >= 0.0
-            assert set(w["caches"]) <= {"trace", "translated", "opstream"}
+            assert set(w["caches"]) <= {"trace", "translated", "opstream", "store"}
+            # Memory gauges ride along with every completion.
+            assert w["peak_rss_kb"] > 0
+            assert w["mapped_bytes"] >= 0
         # The second pass reuses the first pass's resident traces.
         assert sum(w["resident_memory_hits"] for w in stats) > 0
 

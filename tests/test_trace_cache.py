@@ -162,6 +162,88 @@ class TestCacheLayers:
         assert len(list(target.glob("*.ctrace"))) == 1
 
 
+class TestMmapStore:
+    """Writer/reader races and corruption under the mmap artifact store.
+
+    Marked ``store`` so the CI service-smoke job can select the mmap
+    layer's coverage directly; the scenarios also run in the default
+    suite.
+    """
+
+    pytestmark = pytest.mark.store
+
+    def test_replace_while_mapped_serves_old_content(self, cache_dir, monkeypatch):
+        # A process holding a mapped trace must keep serving the content
+        # it validated even after another process os.replace()s the
+        # cache file: the old inode stays mapped.
+        import os
+
+        from repro import store
+
+        monkeypatch.setenv(store.MMAP_ENV, "1")
+        kwargs = dict(workload="mcf", llc_lines=512, length=150, seed=21)
+        key = trace_key("mcf", 512, 21, 150)
+        first = compile_workload(**kwargs)
+        compiled.clear_memory_cache()
+        mapped = compile_workload(**kwargs)  # disk hit: mmap-backed columns
+        assert trace_cache_info().disk_hits == 1
+        path = cache_path(cache_dir, key)
+        other = CompiledTrace.from_records(
+            generated_records("lbm", 512, 150, seed=3)
+        )
+        tmp = path.with_name(path.name + ".race")
+        tmp.write_bytes(other.to_bytes(key))
+        os.replace(tmp, path)
+        # The reader that mapped before the replace still sees its data...
+        assert mapped == first
+        # ...while a fresh load detects the new inode and serves it.
+        compiled.clear_memory_cache()
+        again = compile_workload(**kwargs)
+        assert again == other
+        assert again != first
+        # The stale reader keeps its view; nothing crashed, and both
+        # loads were disk hits (no regenerate in between).
+        assert mapped == first
+        assert trace_cache_info().disk_hits == 2
+
+    @pytest.mark.parametrize("mmap_mode", ["1", "0"])
+    def test_corruption_handled_identically(
+        self, cache_dir, caplog, monkeypatch, mmap_mode
+    ):
+        # Truncated/garbage files must warn-and-regenerate the same way
+        # whether the loader maps or heap-reads (REPRO_MMAP oracle).
+        from repro import store
+
+        monkeypatch.setenv(store.MMAP_ENV, mmap_mode)
+        kwargs = dict(workload="mcf", llc_lines=512, length=130, seed=22)
+        first = compile_workload(**kwargs)
+        path = cache_path(cache_dir, trace_key("mcf", 512, 22, 130))
+        for junk in (b"\x00" * 16, path.read_bytes()[:-20], b""):
+            path.write_bytes(junk)
+            compiled.clear_memory_cache()
+            errors_before = trace_cache_info().disk_errors
+            with caplog.at_level(logging.WARNING, logger="repro.trace.compiled"):
+                assert compile_workload(**kwargs) == first
+            assert trace_cache_info().disk_errors == errors_before + 1
+        assert any("corrupt" in r.message for r in caplog.records)
+        # The regenerated file is served cleanly again.
+        compiled.clear_memory_cache()
+        assert compile_workload(**kwargs) == first
+
+    def test_heap_fallback_loads_plain_columns(self, cache_dir, monkeypatch):
+        from array import array
+
+        from repro import store
+
+        monkeypatch.setenv(store.MMAP_ENV, "0")
+        kwargs = dict(workload="mcf", llc_lines=512, length=90, seed=23)
+        compile_workload(**kwargs)
+        compiled.clear_memory_cache()
+        loaded = compile_workload(**kwargs)
+        assert isinstance(loaded.line_addrs, array)
+        assert isinstance(loaded.write_flags, bytearray)
+
+
 class TestKeySensitivity:
     def test_every_input_changes_the_key(self):
         base = trace_key("mcf", 512, 7, 1000)

@@ -157,6 +157,63 @@ class TestCacheLayers:
         translated.reset_translated_cache_stats()
 
 
+class TestMmapStore:
+    """Writer/reader races and corruption for ``.tix`` files under mmap."""
+
+    pytestmark = pytest.mark.store
+
+    def test_replace_while_mapped_serves_old_content(self, cache_dir, monkeypatch):
+        import os
+
+        from repro import store
+
+        monkeypatch.setenv(store.MMAP_ENV, "1")
+        rand = make_randomizer()
+        trace = make_trace()
+        first = translate_trace(rand, trace)
+        key = translated_key(array("Q", sorted(trace.unique_lines())), rand, 0)
+        translated.clear_memory_cache()
+        mapped = translate_trace(rand, trace)  # disk hit: mmap-backed columns
+        assert translated_cache_info().disk_hits == 1
+        # Another writer publishes a different (valid) translation under
+        # the same key - e.g. a concurrent worker with offset applied.
+        other = translate_trace(rand, trace, offset=1 << 20, use_cache=False)
+        path = cache_path(cache_dir, key)
+        tmp = path.with_name(path.name + ".race")
+        tmp.write_bytes(other.to_bytes(key))
+        os.replace(tmp, path)
+        # The old inode stays mapped: the reader is undisturbed...
+        assert mapped == first
+        # ...and a fresh load sees the new inode's content.
+        translated.clear_memory_cache()
+        again = translate_trace(rand, trace)
+        assert again == other
+        assert again != first
+        assert mapped == first
+        assert translated_cache_info().disk_hits == 2
+
+    @pytest.mark.parametrize("mmap_mode", ["1", "0"])
+    def test_corruption_handled_identically(
+        self, cache_dir, caplog, monkeypatch, mmap_mode
+    ):
+        from repro import store
+
+        monkeypatch.setenv(store.MMAP_ENV, mmap_mode)
+        rand = make_randomizer()
+        trace = make_trace()
+        first = translate_trace(rand, trace)
+        key = translated_key(array("Q", sorted(trace.unique_lines())), rand, 0)
+        path = cache_path(cache_dir, key)
+        for junk in (b"\x00" * 16, path.read_bytes()[:-17], b""):
+            path.write_bytes(junk)
+            translated.clear_memory_cache()
+            errors_before = translated_cache_info().disk_errors
+            with caplog.at_level(logging.WARNING, logger="repro.trace.translated"):
+                assert translate_trace(rand, trace) == first
+            assert translated_cache_info().disk_errors == errors_before + 1
+        assert any("corrupt" in r.message for r in caplog.records)
+
+
 class TestDirResolution:
     def test_follows_trace_cache_disable(self, monkeypatch):
         # --no-trace-cache sets REPRO_TRACE_CACHE=0; with no explicit

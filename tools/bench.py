@@ -24,17 +24,26 @@ fig9+fig10+table7 grid through a live HTTP service and byte-diffs the
 canonical results against a serial run - the same invariant the CI
 ``service-smoke`` job enforces.
 
+Unless ``--no-store`` is given, the run also benchmarks the zero-copy
+mmap artifact store (``repro.store``) against its heap fallback: warm
+reloads of the canonical protocol's compiled traces must come out >=5x
+faster mapped than heap-read, and the aggregate proportional RSS of 8
+concurrent workers loading the same artifacts must land below the heap
+aggregate (the pages are shared; heap workers hold private copies).
+Both floors are enforced inline - the bench refuses to report figures
+that fail them.
+
 Usage::
 
     python tools/bench.py                       # full protocol, print table
     python tools/bench.py --quick               # CI-sized protocol
-    python tools/bench.py --both --out BENCH_8.json   # regenerate the
+    python tools/bench.py --both --out BENCH_9.json   # regenerate the
                                                       # checked-in baseline
     python tools/bench.py kernels               # batch/cipher kernel
                                                 # microbenchmarks only
     python tools/bench.py --quick --verify      # + reference-engine
                                                 # equivalence check
-    python tools/bench.py --quick --baseline BENCH_8.json --check-regression 25
+    python tools/bench.py --quick --baseline BENCH_9.json --check-regression 25
     python tools/bench.py --service-grid        # + drain the fast
                                                 # fig9+fig10+table7 grid
                                                 # through a live service
@@ -237,6 +246,181 @@ def bench_batch_kernels(probes: int = 20000, seed: int = 123) -> dict:
             "scalar_blocks_per_sec": round(sets_total / victim_scalar_secs, 1),
         },
     }
+
+
+def _canonical_artifact_specs(params: dict = FULL) -> list:
+    """The compiled-trace artifacts a canonical protocol run loads.
+
+    Exactly what ``run_mix`` compiles for the protocol's homogeneous
+    mix: one trace per core, same line count, length, and derived
+    per-core seed - so the store bench times the real thing, not a toy.
+    """
+    from repro.common.rng import derive_seed
+
+    llc_lines = experiment_system(
+        cores=params["cores"], llc_sets=params["llc_sets"]
+    ).llc_geometry.lines
+    length = params["warmup_per_core"] + max(1, params["accesses_per_core"])
+    return [
+        [params["bench"], llc_lines, length, derive_seed(params["seed"], 100 + core)]
+        for core in range(params["cores"])
+    ]
+
+
+#: Worker script for the aggregate-RSS bench: load the canonical
+#: artifacts (must come off the disk cache), then hold them alive while
+#: the parent reads back PSS - proportional set size, which divides
+#: each shared physical page across its mappers, so page-cache sharing
+#: under mmap shows directly where plain RSS would bill every worker
+#: the full page.
+_STORE_WORKER_CODE = """\
+import json, os, sys
+from repro import store
+from repro.trace import compiled
+specs = json.loads(os.environ["STORE_BENCH_SPECS"])
+traces = [compiled.compile_workload(w, l, n, seed=s) for (w, l, n, s) in specs]
+if compiled.trace_cache_info().compiles:
+    raise AssertionError("store bench worker compiled instead of loading")
+sys.stdout.write("READY\\n")
+sys.stdout.flush()
+sys.stdin.readline()  # wait until every sibling has mapped (PSS sharing)
+sys.stdout.write(json.dumps({
+    "pss_kb": store.proportional_rss_kb(),
+    "peak_rss_kb": store.peak_rss_kb(),
+    "mapped_bytes": store.mapped_bytes_current(),
+}) + "\\n")
+sys.stdout.flush()
+"""
+
+
+def bench_store(rounds: int = 30, workers: int = 8) -> dict:
+    """The mmap artifact store's two figures of merit vs the heap path.
+
+    **Warm loads** - repeatedly reload the canonical protocol's 8 mcf
+    traces straight off the disk cache with the store on (registry-warm:
+    map reuse, CRC already validated, zero-copy views) and off (full
+    read + CRC scan + column copy per load).  The mmap path must come
+    out >=5x faster; the function refuses to report a smaller figure.
+
+    **Aggregate worker memory** - ``workers`` concurrent subprocesses
+    each load the same artifacts and report PSS.  Under mmap the column
+    pages are shared page-cache pages, so the aggregate must land below
+    the heap aggregate, where every worker holds private copies (the
+    check is skipped, and says so, where ``/proc`` PSS is unavailable).
+    """
+    import subprocess
+
+    import repro
+    from repro import store
+    from repro.trace import compiled
+
+    directory = compiled.trace_cache_dir()
+    if directory is None:
+        raise AssertionError("the store bench needs the trace cache enabled")
+    specs = _canonical_artifact_specs()
+    keys = []
+    for workload, llc_lines, length, seed in specs:
+        compiled.compile_workload(workload, llc_lines, length, seed=seed)
+        keys.append(compiled.trace_key(workload, llc_lines, seed, length))
+    artifact_bytes = sum(
+        compiled.cache_path(directory, key).stat().st_size for key in keys
+    )
+
+    def best_load_seconds() -> float:
+        best = None
+        for _ in range(rounds):
+            compiled.clear_memory_cache()
+            t0 = time.perf_counter()
+            for key in keys:
+                if compiled._load_from_disk(directory, key) is None:
+                    raise AssertionError(f"store bench lost cache entry {key!r}")
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None or elapsed < best else best
+        return best
+
+    previous = os.environ.get(store.MMAP_ENV)
+    try:
+        os.environ[store.MMAP_ENV] = "1"
+        compiled.clear_memory_cache()
+        for key in keys:  # prime: map + one CRC validation per artifact
+            compiled._load_from_disk(directory, key)
+        mmap_best = best_load_seconds()
+        os.environ[store.MMAP_ENV] = "0"
+        heap_best = best_load_seconds()
+    finally:
+        if previous is None:
+            os.environ.pop(store.MMAP_ENV, None)
+        else:
+            os.environ[store.MMAP_ENV] = previous
+    speedup = heap_best / mmap_best
+    if speedup < 5.0:
+        raise AssertionError(
+            f"warm mmap loads are only {speedup:.1f}x faster than heap loads "
+            "(< 5x) - the artifact store is not paying for itself"
+        )
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+    def measure_workers(mmap_value: str) -> list:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        env[store.MMAP_ENV] = mmap_value
+        env["STORE_BENCH_SPECS"] = json.dumps(specs)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _STORE_WORKER_CODE], env=env,
+                stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True,
+            )
+            for _ in range(workers)
+        ]
+        try:
+            for proc in procs:
+                if proc.stdout.readline().strip() != "READY":
+                    raise AssertionError("a store bench worker died before loading")
+            for proc in procs:  # every worker holds its maps: measure now
+                proc.stdin.write("go\n")
+                proc.stdin.flush()
+            return [json.loads(proc.stdout.readline()) for proc in procs]
+        finally:
+            for proc in procs:
+                try:
+                    proc.stdin.close()
+                    proc.wait(timeout=30.0)
+                except (OSError, subprocess.TimeoutExpired):
+                    proc.kill()
+
+    mmap_reports = measure_workers("1")
+    heap_reports = measure_workers("0")
+    have_pss = all(
+        r["pss_kb"] is not None for r in mmap_reports + heap_reports
+    )
+    result = {
+        "artifacts": len(keys),
+        "artifact_bytes": artifact_bytes,
+        "warm_load_rounds": rounds,
+        "mmap_warm_load_seconds_best": round(mmap_best, 6),
+        "heap_warm_load_seconds_best": round(heap_best, 6),
+        "warm_load_speedup": round(speedup, 1),
+        "workers": workers,
+        "mmap_worker_pss_kb": [r["pss_kb"] for r in mmap_reports],
+        "heap_worker_pss_kb": [r["pss_kb"] for r in heap_reports],
+        "mmap_worker_peak_rss_kb": [r["peak_rss_kb"] for r in mmap_reports],
+        "heap_worker_peak_rss_kb": [r["peak_rss_kb"] for r in heap_reports],
+        "mapped_bytes_per_worker": mmap_reports[0]["mapped_bytes"],
+    }
+    if have_pss:
+        mmap_total = sum(r["pss_kb"] for r in mmap_reports)
+        heap_total = sum(r["pss_kb"] for r in heap_reports)
+        if mmap_total >= heap_total:
+            raise AssertionError(
+                f"aggregate PSS under mmap ({mmap_total} KiB) is not below the "
+                f"heap aggregate ({heap_total} KiB) - the maps are not sharing"
+            )
+        result["aggregate_pss_kb"] = {"mmap": mmap_total, "heap": heap_total}
+        result["aggregate_pss_saved_kb"] = heap_total - mmap_total
+    else:
+        result["aggregate_pss_kb"] = "skipped (/proc PSS unavailable)"
+    return result
 
 
 #: Experiments in the service-drained grid row (fast scaling); the same
@@ -575,6 +759,8 @@ def main(argv=None) -> int:
                              "serial (always on with --both)")
     parser.add_argument("--no-service", action="store_true",
                         help="skip the resident-service benchmarks entirely")
+    parser.add_argument("--no-store", action="store_true",
+                        help="skip the mmap artifact-store benchmarks")
     parser.add_argument("--no-trace-cache", action="store_true",
                         help="disable the on-disk compiled-trace cache "
                              f"(sets {TRACE_CACHE_ENV}=0; every trial recompiles)")
@@ -620,12 +806,13 @@ def main(argv=None) -> int:
     except ImportError:
         numpy_version = None
     payload = {
-        "bench_id": 8,
+        "bench_id": 9,
         "numpy": numpy_version,
         "pre_soa_anchor": PRE_SOA_ANCHOR,
         "pre_fused_prince_anchor": PRE_FUSED_PRINCE_ANCHOR,
         "cipher_kernels": kernels,
         "batch_kernels": batch_kernels,
+        "store": {},
         "service": {},
         "protocols": {},
     }
@@ -655,6 +842,25 @@ def main(argv=None) -> int:
             other["engine"] = args.engine
         print(f"[{other_name}] {other}")
         payload["protocols"][other_name] = {"params": other, "results": run_protocol(other)}
+
+    if not args.no_store:
+        print("[store] warm artifact loads + aggregate worker PSS, mmap vs heap")
+        payload["store"] = bench_store()
+        s = payload["store"]
+        print(
+            f"  warm loads {s['mmap_warm_load_seconds_best']*1000:.2f}ms mapped | "
+            f"{s['heap_warm_load_seconds_best']*1000:.2f}ms heap | "
+            f"{s['warm_load_speedup']:.0f}x"
+        )
+        if isinstance(s["aggregate_pss_kb"], dict):
+            print(
+                f"  aggregate PSS over {s['workers']} workers: "
+                f"{s['aggregate_pss_kb']['mmap']} KiB mapped < "
+                f"{s['aggregate_pss_kb']['heap']} KiB heap "
+                f"({s['aggregate_pss_saved_kb']} KiB shared)"
+            )
+        else:
+            print(f"  aggregate PSS: {s['aggregate_pss_kb']}")
 
     # Service benches run last: the protocol rows above are the
     # regression-gated figures, and the quick protocol's two short
