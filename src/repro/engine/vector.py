@@ -344,16 +344,20 @@ class VectorReplay:
 
     # -- the replay loop --------------------------------------------------
 
-    def phase(self, per_core: int) -> None:
-        """One time-ordered phase: the vector replacement for
-        ``_drive_compiled`` (identical results, compressed heap)."""
+    def _phase_setup(self, per_core: int):
+        """Shared per-phase bookkeeping for both replay loops.
+
+        Advances every core's position/instruction counters, applies the
+        whole-window static advance for cores with no shared-state ops,
+        and returns the merge state ``(heap, jpos, adv_c, oprun_c,
+        limit_c)`` for the cores that do have ops this phase.
+        """
         count = max(1, per_core)
         cores = self._cores
         clocks = self._clocks
         scale = self._scale
         inv_scale = self._inv_scale
         cshift = self._cshift
-        cmask = (1 << cshift) - 1
         jpos = [0] * cores
         adv_c: List[Optional[list]] = [None] * cores
         oprun_c: List[Optional[list]] = [None] * cores
@@ -378,6 +382,87 @@ class VectorReplay:
             limit_c[c] = len(advs)
             heap.append(((int(clocks[c] * scale) + lead) << cshift) | c)
         heapq.heapify(heap)
+        return heap, jpos, adv_c, oprun_c, limit_c
+
+    def phase_scalar(self, per_core: int) -> None:
+        """One time-ordered phase executing **every op** through the
+        live ``llc.access_fast`` step (plus the DRAM model) instead of
+        the inlined vector kernel.
+
+        This is the fallback executor from :meth:`phase` promoted to
+        the whole stream: identical ordering (same packed-key merge),
+        identical clocks (same integer grid), and bit-identical state
+        because each op runs the cache's own scalar step - which is the
+        config-specialized generated step when
+        :mod:`repro.engine.specialize` installed one.  Hazards (SAE,
+        rekey, memo-capacity evictions) need no windowing here: there
+        is no batched state to invalidate.  ``run_mix`` uses this loop
+        for the *scalar* engine when specialization is on, so the
+        serial LLC state machine runs specialized end to end while the
+        private levels replay from the cached op streams.
+        """
+        heap, jpos, adv_c, oprun_c, limit_c = self._phase_setup(per_core)
+        heappop, heappush = heapq.heappop, heapq.heappush
+        clocks = self._clocks
+        inv_scale = self._inv_scale
+        cshift = self._cshift
+        cmask = (1 << cshift) - 1
+        llc = self._llc
+        access_fast = llc.access_fast
+        dram_access = self._dram.access
+        rh_i = self._rh_i
+        rm_i = self._rm_i
+        lat_rh = self._lat_rh
+        n_ops = 0
+        while heap:
+            hk = heappop(heap)
+            c = hk & cmask
+            j = jpos[c]
+            advs = adv_c[c]
+            runs = oprun_c[c]
+            limit = limit_c[c]
+            while True:
+                d = 0
+                for op in runs[j]:
+                    kind = op[0]
+                    a = op[1]
+                    n_ops += 1
+                    if kind:
+                        flags = access_fast(a, False, c, False, c)
+                        if flags & 4:  # ACC_EVICTED_DIRTY
+                            dram_access(llc.victim_addr, True, None)
+                        if not flags & 1:  # ACC_HIT
+                            lat = dram_access(a, False, None)
+                            if kind == 2:
+                                # Reads return exactly the row-hit or
+                                # row-miss cycles.
+                                d += rh_i if lat == lat_rh else rm_i
+                    else:
+                        flags = access_fast(a, False, c, True, c)
+                        if flags & 4:
+                            dram_access(llc.victim_addr, True, None)
+                nk = hk + ((advs[j] + d) << cshift)
+                j += 1
+                if j < limit:
+                    if not heap or nk < heap[0]:
+                        hk = nk
+                        continue
+                    jpos[c] = j
+                    heappush(heap, nk)
+                else:
+                    clocks[c] = (nk >> cshift) * inv_scale
+                break
+        self.info["scalar_ops"] = self.info.get("scalar_ops", 0) + n_ops
+
+    def phase(self, per_core: int) -> None:
+        """One time-ordered phase: the vector replacement for
+        ``_drive_compiled`` (identical results, compressed heap)."""
+        cores = self._cores
+        clocks = self._clocks
+        inv_scale = self._inv_scale
+        cshift = self._cshift
+        cmask = (1 << cshift) - 1
+        heap, jpos, adv_c, oprun_c, limit_c = self._phase_setup(per_core)
         heappop, heappush = heapq.heappop, heapq.heappush
 
         # Live shared state, hoisted once per phase.  Bindings survive
@@ -905,6 +990,7 @@ def create_vector_replay(
     model_bandwidth: bool,
     enable_prefetch: bool,
     trace_cache: Optional[bool],
+    scalar_ops: bool = False,
 ) -> Tuple[Optional[VectorReplay], str]:
     """Build a :class:`VectorReplay`, or explain why it cannot run.
 
@@ -912,6 +998,12 @@ def create_vector_replay(
     failing any of them returns ``(None, reason)`` and ``run_mix``
     falls back to the scalar engine, recording the reason in
     ``MixResult.engine_info``.
+
+    ``scalar_ops=True`` builds the same replay (same gates, same op
+    streams, same integer clock grid) but marks it for the
+    :meth:`VectorReplay.phase_scalar` loop: the scalar engine's
+    specialized drive, where every op executes through the live
+    ``llc.access_fast`` step.
     """
     from ..common.rng import derive_seed
 
@@ -983,5 +1075,11 @@ def create_vector_replay(
         clocks,
         instructions,
     )
+    if scalar_ops:
+        replay.info["engine"] = "scalar"
+        replay.info["replay"] = "opstream-scalar"
+        replay.info["scalar_ops"] = 0
+        del replay.info["segments"]
+        del replay.info["fallback_ops"]
     replay.precompute_indices()
     return replay, "ok"

@@ -48,6 +48,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from . import runner
 from ..engine import ENGINE_ENV, ENGINES
+from ..engine.specialize import SPECIALIZE_ENV
 from ..service import SERVICE_ENV, resolve_address
 from ..trace.compiled import TRACE_CACHE_ENV
 from .presets import MEMO_CAPACITY_ENV
@@ -214,6 +215,13 @@ def campaign_main(argv: List[str]) -> int:
         "is byte-identical either way)" % ENGINE_ENV,
     )
     parser.add_argument(
+        "--specialize", choices=("0", "1"), default=None,
+        help="config-specialized step codegen: 1 (default) or 0 for "
+        "the generic differential oracle (exported as %s so --jobs "
+        "workers inherit it; the scorecard is byte-identical either "
+        "way)" % SPECIALIZE_ENV,
+    )
+    parser.add_argument(
         "--service", default=None, metavar="ADDR",
         help="drain the campaign's (design x attack) shards through a "
         "resident simulation service (default from %s when set); the "
@@ -227,6 +235,9 @@ def campaign_main(argv: List[str]) -> int:
 
     if args.engine:
         os.environ[ENGINE_ENV] = args.engine
+
+    if args.specialize is not None:
+        os.environ[SPECIALIZE_ENV] = args.specialize
 
     designs = args.designs.split(",") if args.designs else None
     attacks = args.attacks.split(",") if args.attacks else None
@@ -307,6 +318,14 @@ def main(argv=None) -> int:
         "exported as %s so --jobs workers inherit it)" % ENGINE_ENV,
     )
     parser.add_argument(
+        "--specialize", choices=("0", "1"), default=None,
+        help="config-specialized step codegen: 1 (default; generated "
+        "per-config step functions plus the opstream scalar replay for "
+        "Maya) or 0 for the generic differential oracle (bit-identical "
+        "results, exported as %s so --jobs workers inherit it)"
+        % SPECIALIZE_ENV,
+    )
+    parser.add_argument(
         "--service", default=None, metavar="ADDR",
         help="drain the grid through a resident simulation service "
         "(HOST:PORT; default from %s when set).  Results are "
@@ -325,6 +344,9 @@ def main(argv=None) -> int:
 
     if args.engine:
         os.environ[ENGINE_ENV] = args.engine
+
+    if args.specialize is not None:
+        os.environ[SPECIALIZE_ENV] = args.specialize
 
     if args.memo_capacity is not None:
         if args.memo_capacity <= 0:

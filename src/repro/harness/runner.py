@@ -277,6 +277,7 @@ def summary_dict(
 ) -> Dict[str, object]:
     """The ``--json`` payload: per-task timing plus sweep metadata."""
     from ..engine import resolve_engine
+    from ..engine.specialize import resolve_specialize
 
     try:
         import numpy
@@ -291,6 +292,7 @@ def summary_dict(
         "jobs": jobs,
         "wall_seconds": wall_seconds,
         "engine": resolve_engine(None),
+        "specialize": resolve_specialize(None),
         "numpy": numpy_version,
         "task_seconds": sum(r.seconds for r in results),
         "ok": all(r.ok for r in results),

@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence
 from ..common.config import SystemConfig
 from ..common.rng import derive_seed
 from ..engine import resolve_engine
+from ..engine.specialize import apply_specialization, resolve_specialize
 from ..llc.interface import LLCache
 from ..trace.compiled import compile_workload
 from ..trace.mixes import Mix
@@ -74,6 +75,12 @@ class MixResult:
     #: ``segments``/``fallback_ops`` hazard counts; for scalar
     #: fallbacks of a vector request, the ``fallback_reason``.
     engine_info: Optional[dict] = None
+    #: Specialization provenance (:mod:`repro.engine.specialize`):
+    #: ``None`` when the generic engines ran (``REPRO_SPECIALIZE=0``),
+    #: else the template kind installed on the LLC (or the fallback
+    #: reason) plus the count of specialized private levels.
+    #: Diagnostic only - never part of canonical results.
+    specialize_info: Optional[dict] = None
 
     @property
     def total_instructions(self) -> int:
@@ -189,6 +196,7 @@ def run_mix(
     pretranslate: Optional[bool] = None,
     translate_jobs: Optional[int] = None,
     engine: Optional[str] = None,
+    specialize: Optional[bool] = None,
 ) -> MixResult:
     """Simulate ``mix`` over ``llc``; returns per-core IPCs + LLC stats.
 
@@ -242,6 +250,17 @@ def run_mix(
     engine's preconditions fail (non-Maya design, numpy missing,
     bandwidth model on, ...) the run transparently drops to scalar and
     ``MixResult.engine_info["fallback_reason"]`` says why.
+
+    ``specialize`` selects the config-specialized step functions
+    (:mod:`repro.engine.specialize`): ``None`` honours
+    ``REPRO_SPECIALIZE`` (default on), ``False`` keeps the generic
+    interpreters (the differential oracle).  Specialization is applied
+    after the hierarchy is built and released with it; every caller
+    resolves ``access_fast`` by attribute, so the scalar drive loops
+    and the vector engine's scalar fallback windows both pick up the
+    specialized steps.  Results are bit-identical either way (the
+    ``specialize`` differential suite enforces it); the provenance
+    lands in ``MixResult.specialize_info``, never in canonical results.
     """
     requested_engine = resolve_engine(engine)
     engine_used = "scalar"
@@ -250,6 +269,10 @@ def run_mix(
     if config.cores < mix.cores:
         raise ValueError(f"mix {mix.name} needs {mix.cores} cores, config has {config.cores}")
     hierarchy = CacheHierarchy(llc, config, enable_prefetch=enable_prefetch)
+    specialization = None
+    specialize_info: Optional[dict] = None
+    if resolve_specialize(specialize):
+        specialization, specialize_info = apply_specialization(llc, hierarchy)
     llc_lines = config.llc_geometry.lines
     # Per-core regions are huge (no overlap) and deliberately not a
     # multiple of any set count, so different cores' identical access
@@ -334,6 +357,31 @@ def run_mix(
                 engine_used = "vector"
                 engine_info = replay.info
                 phase = replay.phase
+        elif specialization is not None and specialize_info.get("llc") == "MayaCache":
+            # Specialized scalar drive: replay the cached op streams
+            # with *every* op executed through the generated scalar
+            # step (``phase_scalar`` - no batch kernels, no hazard
+            # windows), so the serial LLC state machine runs the
+            # specialized code end to end while the private levels come
+            # from the pre-simulated streams.  Same gates as the vector
+            # engine; when any fail, the plain per-access drive keeps
+            # the specialized steps and the reason lands in
+            # ``specialize_info``.
+            from ..engine.vector import create_vector_replay
+
+            replay, reason = create_vector_replay(
+                llc, hierarchy, config, mix, traces, seed, region,
+                clocks, instructions, model_bandwidth, enable_prefetch,
+                trace_cache, scalar_ops=True,
+            )
+            if replay is None:
+                specialize_info["replay"] = None
+                specialize_info["replay_reason"] = reason
+            else:
+                specialize_info["replay"] = "opstream-scalar"
+                specialize_info["replay_reason"] = None
+                engine_info = replay.info
+                phase = replay.phase_scalar
 
     else:
         streams: List[tuple] = []
@@ -368,6 +416,12 @@ def run_mix(
     refresh_mapping_cache = getattr(llc, "refresh_mapping_cache_stats", None)
     if refresh_mapping_cache is not None:
         refresh_mapping_cache()
+    # Restore the generic step functions: the specialized closures hold
+    # references back to their caches, and dropping the instance
+    # bindings keeps per-trial bench loops refcount-clean (post-run
+    # accesses through the generic engine are bit-identical anyway).
+    if specialization is not None:
+        specialization.release()
     # The hierarchy is done; break its compiled-access reference cycle
     # so this trial's working set (mapping memos, trace columns, tag
     # state) frees by refcount when the caller drops `llc` instead of
@@ -392,6 +446,7 @@ def run_mix(
         llc_randomizer_hit_rate=stats.randomizer_hit_rate,
         engine=engine_used,
         engine_info=engine_info,
+        specialize_info=specialize_info,
     )
 
 

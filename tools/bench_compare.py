@@ -100,6 +100,21 @@ def trend_table(benches: list, threshold: float) -> tuple:
     ids = [bench_id for bench_id, _ in benches]
     designs = _designs(benches)
     width = max(10, *(len(d) for d in designs)) if designs else 10
+    # Runtime provenance row: BENCH_10+ records the interpreter next to
+    # numpy, so cross-file throughput deltas can be attributed to a
+    # Python/numpy upgrade instead of a code change.
+    runtimes = []
+    for bench_id, payload in benches:
+        python = payload.get("python")
+        impl = payload.get("python_implementation")
+        numpy = payload.get("numpy")
+        parts = [p for p in (impl, python) if p]
+        runtime = " ".join(parts) if parts else "-"
+        if numpy:
+            runtime += f" / numpy {numpy}"
+        runtimes.append(f"BENCH_{bench_id}: {runtime}")
+    lines.append("runtimes: " + "; ".join(runtimes))
+    lines.append("")
     for protocol in _protocols(benches):
         lines.append(f"[{protocol}]")
         header = f"  {'design':<{width}}" + "".join(f"{f'BENCH_{i}':>16}" for i in ids)
